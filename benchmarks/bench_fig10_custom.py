@@ -1,0 +1,72 @@
+"""Fig. 10: RoundTripRank+ vs *customized* dual-sensed baselines (NDCG@5).
+
+The paper gives every dual-sensed baseline the same benefit of a tunable
+trade-off ("the customizations are implemented by us"): TCommute+,
+ObjSqrtInv+, Harmonic+ and Arithmetic+ each get a beta tuned on the same
+development queries as RoundTripRank+.  Expected shape (paper):
+RoundTripRank+ still best (~+4% over TCommute+); baselines' runner-up spot
+varies by task.
+"""
+
+from benchmarks.common import report
+from repro.baselines import (
+    ArithmeticPlusMeasure,
+    HarmonicPlusMeasure,
+    ObjSqrtInvPlusMeasure,
+    RoundTripRankPlusMeasure,
+    TCommutePlusMeasure,
+)
+from repro.eval import evaluate_measure, tune_beta
+
+BETA_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_fig10(tasks) -> str:
+    measures = {
+        "RoundTripRank+": RoundTripRankPlusMeasure(),
+        "TCommute+": TCommutePlusMeasure(),
+        "ObjSqrtInv+": ObjSqrtInvPlusMeasure(),
+        "Harmonic+": HarmonicPlusMeasure(),
+        "Arithmetic+": ArithmeticPlusMeasure(),
+    }
+    task_names = list(tasks["test"])
+    table: dict[str, dict[str, float]] = {name: {} for name in measures}
+    betas: dict[str, dict[str, float]] = {name: {} for name in measures}
+    for task_name in task_names:
+        dev = tasks["dev"][task_name]
+        test = tasks["test"][task_name]
+        for m_name, measure in measures.items():
+            best_beta, _ = tune_beta(measure, dev, BETA_GRID, k=5)
+            betas[m_name][task_name] = best_beta
+            tuned = measure.with_beta(best_beta)
+            result = evaluate_measure(tuned, test, (5,))
+            table[m_name][task_name] = result.mean_ndcg(5)
+
+    lines = ["Fig. 10 — NDCG@5 of RoundTripRank+ and customized dual baselines", ""]
+    header = f"{'measure':16s}" + "".join(f"{t:>10s}" for t in task_names) + f"{'Average':>10s}"
+    lines.append(header)
+    for m_name in measures:
+        values = [table[m_name][t] for t in task_names]
+        avg = sum(values) / len(values)
+        lines.append(
+            f"{m_name:16s}"
+            + "".join(f"{v:10.4f}" for v in values)
+            + f"{avg:10.4f}"
+        )
+    lines.append("")
+    lines.append("tuned beta* per measure and task:")
+    for m_name in measures:
+        lines.append(
+            f"  {m_name:16s}"
+            + "".join(f"{betas[m_name][t]:10.1f}" for t in task_names)
+        )
+    lines.append("")
+    lines.append("paper shape: RoundTripRank+ best in every column even after")
+    lines.append("giving each baseline the same tuned trade-off (~+4% over the")
+    lines.append("runner-up on average); the runner-up varies across tasks.")
+    return "\n".join(lines)
+
+
+def test_fig10_customized(benchmark, tasks):
+    text = benchmark.pedantic(run_fig10, args=(tasks,), rounds=1, iterations=1)
+    report("fig10_custom", text)

@@ -1,0 +1,103 @@
+"""Fig. 11: 2SBound query time vs slack (a) and approximation quality (b).
+
+(a) compares the naive full-iteration baseline with the four bound schemes
+    (2SBound, and the weakened G+S / Gupta / Sarkar configurations) at
+    slacks 0.01 / 0.02 / 0.03, K = 10 — expected shape (paper): 2SBound
+    fastest; ~2-10x faster than the weaker bound schemes; orders faster
+    than naive (the gap widens with graph size, since naive scales with
+    |E| and 2SBound with the active set).
+(b) measures NDCG, top-K precision and Kendall's tau of 2SBound's ranking
+    against the exact one — expected shape: all > 0.9 at small slack,
+    degrading gently as the slack buys speed.
+"""
+
+import numpy as np
+
+from benchmarks.common import report
+from repro.eval import kendall_tau_on_union, ndcg_at_k, topk_overlap_precision
+from repro.topk import naive_topk, twosbound_topk
+from repro.utils.timer import Timer
+
+#: The paper sweeps eps in {0.01, 0.02, 0.03} against its score scale; our
+#: unnormalized scores live roughly a decade lower (different graph scale
+#: and normalization), so the grid is shifted to land in the same
+#: quality regime (see EXPERIMENTS.md).
+EPSILONS = (0.001, 0.005, 0.01)
+K = 10
+
+
+def run_fig11(bibnet_full, queries) -> str:
+    graph = bibnet_full.graph
+    lines = [
+        "Fig. 11 — efficiency of 2SBound on the full synthetic BibNet",
+        f"graph: {graph.n_nodes} nodes / {graph.n_edges} arcs; "
+        f"K = {K}; {len(queries)} queries",
+        "",
+        "(a) mean query time (ms)",
+    ]
+
+    exact: dict[int, object] = {}
+    with Timer() as t_naive:
+        for q in queries:
+            exact[q] = naive_topk(graph, q, K)
+    naive_ms = t_naive.elapsed_ms / len(queries)
+    header = f"{'scheme':10s}" + "".join(f"  eps={e:<7.3f}" for e in EPSILONS)
+    lines.append(header)
+    lines.append(f"{'Naive':10s}" + "".join(f"  {naive_ms:9.1f}" for _ in EPSILONS))
+
+    quality_rows = []
+    for scheme in ("g+s", "gupta", "sarkar", "2sbound"):
+        cells = []
+        for epsilon in EPSILONS:
+            results = {}
+            with Timer() as t_run:
+                for q in queries:
+                    results[q] = twosbound_topk(
+                        graph, q, K, epsilon=epsilon, scheme=scheme
+                    )
+            cells.append(t_run.elapsed_ms / len(queries))
+            if scheme == "2sbound":
+                ndcg, prec, tau = [], [], []
+                for q in queries:
+                    approx = results[q].nodes
+                    # Compare only over positively-scored nodes: the order
+                    # among exact zeros is arbitrary for *both* methods, so
+                    # counting it as error would just measure tie-breaking.
+                    positive = [
+                        v for v in exact[q].nodes if exact[q].scores[v] > 1e-15
+                    ]
+                    k_eff = min(K, len(positive))
+                    if k_eff == 0:
+                        continue
+                    truth = positive[:k_eff]
+                    ndcg.append(ndcg_at_k(approx[:k_eff], set(truth), k_eff))
+                    prec.append(topk_overlap_precision(approx, truth, k_eff))
+                    tau.append(kendall_tau_on_union(approx, truth, k_eff))
+                quality_rows.append(
+                    (
+                        epsilon,
+                        cells[-1],
+                        float(np.mean(ndcg)),
+                        float(np.mean(prec)),
+                        float(np.mean(tau)),
+                    )
+                )
+        lines.append(f"{scheme:10s}" + "".join(f"  {c:9.1f}" for c in cells))
+
+    lines.append("")
+    lines.append("(b) approximation quality of 2SBound vs exact ranking")
+    lines.append(f"{'eps':>7s} {'time ms':>9s} {'NDCG':>8s} {'precision':>10s} {'tau':>8s}")
+    for epsilon, ms, ndcg, prec, tau in quality_rows:
+        lines.append(f"{epsilon:7.3f} {ms:9.1f} {ndcg:8.3f} {prec:10.3f} {tau:8.3f}")
+    lines.append("")
+    lines.append("paper shape: 2SBound fastest (2-10x over G+S/Gupta/Sarkar,")
+    lines.append(">=2 orders over Naive at the paper's 25M-edge scale); quality")
+    lines.append("stays high while larger slack trades quality for speed.")
+    return "\n".join(lines)
+
+
+def test_fig11_efficiency(benchmark, bibnet_full, efficiency_queries):
+    text = benchmark.pedantic(
+        run_fig11, args=(bibnet_full, efficiency_queries), rounds=1, iterations=1
+    )
+    report("fig11_efficiency", text)

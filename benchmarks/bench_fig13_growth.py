@@ -1,0 +1,43 @@
+"""Fig. 13: rate of growth of snapshot, active set and query time.
+
+Normalizes the three Fig. 12 series by their first-snapshot values.
+Expected shape (paper): the active set and query time grow markedly slower
+than the snapshot (1.9x and ~2x vs 7.4x on BibNet).  At laptop scale the
+gap is smaller — the sub-linear regime needs the graph to dwarf the random
+walk's locality — but active-set growth should not exceed snapshot growth
+by much, and the two derived series should track each other.
+"""
+
+from benchmarks.common import report
+from repro.graph import growth_rates
+
+
+def run_fig13(measurements) -> str:
+    snapshots = growth_rates([row["snapshot_bytes"] for row in measurements])
+    actives = growth_rates([row["active_mean"] for row in measurements])
+    times = growth_rates([row["time_mean"] for row in measurements])
+
+    lines = [
+        "Fig. 13 — rate of growth w.r.t. the first snapshot",
+        "",
+        f"{'cutoff':>7s} {'snapshot':>10s} {'active set':>12s} {'query time':>12s}",
+    ]
+    for row, s, a, t in zip(measurements, snapshots, actives, times):
+        lines.append(f"{row['cutoff']:7d} {s:10.2f} {a:12.2f} {t:12.2f}")
+    lines.append("")
+    lines.append(
+        f"total growth: snapshot {snapshots[-1]:.2f}x, active set "
+        f"{actives[-1]:.2f}x, query time {times[-1]:.2f}x"
+    )
+    lines.append("")
+    lines.append("paper shape: active set and query time grow far slower than")
+    lines.append("the snapshot (1.9x / ~2x vs 7.4x); see EXPERIMENTS.md for the")
+    lines.append("scale caveat at laptop-size graphs.")
+    return "\n".join(lines)
+
+
+def test_fig13_growth(benchmark, snapshot_measurements):
+    text = benchmark.pedantic(
+        run_fig13, args=(snapshot_measurements,), rounds=1, iterations=1
+    )
+    report("fig13_growth", text)

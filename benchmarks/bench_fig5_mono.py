@@ -1,0 +1,64 @@
+"""Fig. 5: RoundTripRank vs mono-sensed baselines, NDCG@{5,10,20}, Tasks 1-4.
+
+Regenerates the paper's main effectiveness table.  Expected shape (paper):
+RoundTripRank best in every column; F-Rank/PPR runner-up on average;
+AdamicAdar collapses on Task 3 (its only 2-hop path was reserved).
+"""
+
+from benchmarks.common import report
+from repro.baselines import (
+    AdamicAdarMeasure,
+    FRankMeasure,
+    RoundTripRankMeasure,
+    SimRankMeasure,
+    TRankMeasure,
+)
+from repro.eval import compare_measures, run_task_suite
+
+
+def run_fig5(tasks) -> str:
+    measures = [
+        RoundTripRankMeasure(),
+        FRankMeasure(),
+        TRankMeasure(),
+        SimRankMeasure(),
+        AdamicAdarMeasure(),
+    ]
+    test_tasks = list(tasks["test"].values())
+    suite = run_task_suite(measures, test_tasks, (5, 10, 20))
+
+    lines = ["Fig. 5 — NDCG@K of RoundTripRank and mono-sensed baselines", ""]
+    lines.append(suite.format_table())
+
+    # the paper's headline significance test: RoundTripRank vs the best
+    # mono-sensed baseline at NDCG@5, paired over all task queries.
+    averages = {
+        m: suite.average_ndcg(m, 5) for m in suite.measure_names if m != "RoundTripRank"
+    }
+    runner_up = max(averages, key=averages.get)
+    rtr_avg = suite.average_ndcg("RoundTripRank", 5)
+    lines.append("")
+    lines.append(
+        f"Average NDCG@5: RoundTripRank {rtr_avg:.4f} vs runner-up "
+        f"{runner_up} {averages[runner_up]:.4f} "
+        f"({(rtr_avg / max(averages[runner_up], 1e-12) - 1) * 100:+.1f}%)"
+    )
+    for task_name in suite.task_names:
+        t = compare_measures(
+            suite.results["RoundTripRank"][task_name],
+            suite.results[runner_up][task_name],
+            k=5,
+        )
+        stars = "**" if t.significant(0.01) else ("*" if t.significant(0.05) else "")
+        lines.append(
+            f"  {task_name}: diff {t.mean_difference:+.4f}, p = {t.p_value:.4f} {stars}"
+        )
+    lines.append("")
+    lines.append("paper shape: RTR wins on average (+10% over F-Rank/PPR);")
+    lines.append("AdamicAdar ~0 on Task 3; T-Rank strong on Task 4.")
+    return "\n".join(lines)
+
+
+def test_fig5_mono_sensed(benchmark, tasks):
+    text = benchmark.pedantic(run_fig5, args=(tasks,), rounds=1, iterations=1)
+    report("fig5_mono", text)

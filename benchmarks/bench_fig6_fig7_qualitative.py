@@ -1,0 +1,60 @@
+"""Fig. 6-7: qualitative venue rankings for two topic queries.
+
+The paper shows the top-5 venues for "spatio temporal data" (Fig. 6) and
+"semantic web" (Fig. 7) under F-Rank/PPR, T-Rank, and RoundTripRank.
+Expected shape: importance surfaces broad majors, specificity surfaces
+topic workshops, RoundTripRank interleaves both.
+"""
+
+import numpy as np
+
+from benchmarks.common import report
+from repro.core import frank_vector, roundtriprank, trank_vector
+
+
+def _top_venues(bibnet, scores: np.ndarray, k: int = 5) -> list[str]:
+    venue_ids = np.flatnonzero(bibnet.graph.type_mask("venue"))
+    order = venue_ids[np.argsort(-scores[venue_ids], kind="stable")]
+    return [bibnet.graph.label_of(int(v))[len("venue:"):] for v in order[:k]]
+
+
+def run_fig6_fig7(bibnet) -> str:
+    lines = ["Fig. 6-7 — top-5 venues per measure (qualitative)", ""]
+    for phrase in ("spatio temporal data", "semantic web"):
+        query = bibnet.term_query(phrase)
+        f = frank_vector(bibnet.graph, query)
+        t = trank_vector(bibnet.graph, query)
+        r = roundtriprank(bibnet.graph, query)
+        cols = {
+            "(a) F-Rank/PPR": _top_venues(bibnet, f),
+            "(b) T-Rank": _top_venues(bibnet, t),
+            "(c) RoundTripRank": _top_venues(bibnet, r),
+        }
+        lines.append(f'query: "{phrase}"')
+        width = 36
+        lines.append("".join(h.ljust(width) for h in cols))
+        for i in range(5):
+            lines.append("".join(cols[h][i].ljust(width) for h in cols))
+        lines.append("")
+
+        # shape checks (soft, reported not asserted): majors dominate (a),
+        # workshops dominate (b), and (c) mixes both kinds.
+        majors_in_f = sum("Major" in v for v in cols["(a) F-Rank/PPR"])
+        wkshp_in_t = sum("Wkshp" in v for v in cols["(b) T-Rank"])
+        kinds_in_r = {
+            "major": sum("Major" in v for v in cols["(c) RoundTripRank"]),
+            "wkshp": sum("Wkshp" in v for v in cols["(c) RoundTripRank"]),
+        }
+        lines.append(
+            f"  shape: majors in (a) = {majors_in_f}/5, workshops in (b) = "
+            f"{wkshp_in_t}/5, RoundTripRank mixes {kinds_in_r['major']} majors"
+            f" + {kinds_in_r['wkshp']} workshops"
+        )
+        lines.append("")
+    lines.append("paper shape: (a) broad venues, (b) specific venues, (c) both.")
+    return "\n".join(lines)
+
+
+def test_fig6_fig7_venue_rankings(benchmark, bibnet_eval):
+    text = benchmark.pedantic(run_fig6_fig7, args=(bibnet_eval,), rounds=1, iterations=1)
+    report("fig6_fig7_qualitative", text)

@@ -1,0 +1,48 @@
+"""Fig. 8: effect of the specificity bias beta on each task (NDCG@5).
+
+Regenerates the four beta-sweep curves.  Expected shape (paper Sect.
+VI-A2): extremes (beta -> 0 or 1) hurt everywhere; optima differ by task —
+Task 1 beta* ~ 0.5, Task 2 beta* < 0.5, Task 3 beta* < 0.5, Task 4
+beta* > 0.5 — so no fixed trade-off serves all tasks.
+"""
+
+import numpy as np
+
+from benchmarks.common import report
+from repro.baselines import RoundTripRankPlusMeasure
+from repro.eval import FTCache, evaluate_measure
+
+BETAS = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
+
+
+def run_fig8(tasks) -> str:
+    lines = ["Fig. 8 — NDCG@5 of RoundTripRank+ under varying beta", ""]
+    header = "beta    " + "".join(f"{name:>10s}" for name in tasks["test"])
+    lines.append(header)
+    curves: dict[str, dict[float, float]] = {name: {} for name in tasks["test"]}
+    for name, task in tasks["test"].items():
+        cache = FTCache()
+        for beta in BETAS:
+            result = evaluate_measure(
+                RoundTripRankPlusMeasure(beta=float(beta)), task, (5,), ft_cache=cache
+            )
+            curves[name][beta] = result.mean_ndcg(5)
+    for beta in BETAS:
+        row = f"{beta:4.2f}    " + "".join(
+            f"{curves[name][beta]:10.4f}" for name in curves
+        )
+        lines.append(row)
+    lines.append("")
+    optima = {name: max(curve, key=curve.get) for name, curve in curves.items()}
+    lines.append(
+        "beta*   " + "".join(f"{optima[name]:10.2f}" for name in curves)
+    )
+    lines.append("")
+    lines.append("paper shape: beta* ~ 0.5 (Task 1), < 0.5 (Tasks 2-3), > 0.5")
+    lines.append("(Task 4); both extremes underperform the interior.")
+    return "\n".join(lines)
+
+
+def test_fig8_beta_sweep(benchmark, tasks):
+    text = benchmark.pedantic(run_fig8, args=(tasks,), rounds=1, iterations=1)
+    report("fig8_beta", text)

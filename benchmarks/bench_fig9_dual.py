@@ -1,0 +1,89 @@
+"""Fig. 9: RoundTripRank+ (beta tuned on dev queries) vs dual-sensed baselines.
+
+Regenerates the paper's dual-sensed comparison: TCommute (T=10), ObjSqrtInv
+(d=0.25), and the harmonic/arithmetic means of F-Rank and T-Rank, all at
+their fixed trade-offs; RoundTripRank+ tunes beta per task on development
+queries disjoint from the test queries.  Expected shape (paper):
+RoundTripRank+ best everywhere, TCommute runner-up, ~+7% NDCG@5 on average.
+"""
+
+from benchmarks.common import report
+from repro.baselines import (
+    ArithmeticMeasure,
+    HarmonicMeasure,
+    ObjSqrtInvMeasure,
+    RoundTripRankPlusMeasure,
+    TCommuteMeasure,
+)
+from repro.eval import compare_measures, evaluate_measure, run_task_suite, tune_beta
+
+BETA_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_fig9(tasks) -> str:
+    lines = ["Fig. 9 — NDCG@K of RoundTripRank+ and dual-sensed baselines", ""]
+
+    # Tune RoundTripRank+ per task on the development split.
+    tuned_betas = {}
+    for name, dev_task in tasks["dev"].items():
+        tuned_betas[name], _ = tune_beta(
+            RoundTripRankPlusMeasure(), dev_task, BETA_GRID, k=5
+        )
+    lines.append(
+        "tuned beta*: "
+        + ", ".join(f"{name}={beta:.1f}" for name, beta in tuned_betas.items())
+    )
+    lines.append("")
+
+    baselines = [
+        TCommuteMeasure(),
+        ObjSqrtInvMeasure(),
+        HarmonicMeasure(),
+        ArithmeticMeasure(),
+    ]
+    suite = run_task_suite(baselines, list(tasks["test"].values()), (5, 10, 20))
+    # RoundTripRank+ uses a different beta per task, so evaluate per task.
+    for name, task in tasks["test"].items():
+        result = evaluate_measure(
+            RoundTripRankPlusMeasure(beta=tuned_betas[name]), task, (5, 10, 20)
+        )
+        suite.add(result)
+    # show RoundTripRank+ first
+    suite.results = {
+        "RoundTripRank+": suite.results["RoundTripRank+"],
+        **{k: v for k, v in suite.results.items() if k != "RoundTripRank+"},
+    }
+    lines.append(suite.format_table())
+
+    averages = {
+        m: suite.average_ndcg(m, 5)
+        for m in suite.measure_names
+        if m != "RoundTripRank+"
+    }
+    runner_up = max(averages, key=averages.get)
+    rtr = suite.average_ndcg("RoundTripRank+", 5)
+    lines.append("")
+    lines.append(
+        f"Average NDCG@5: RoundTripRank+ {rtr:.4f} vs runner-up {runner_up} "
+        f"{averages[runner_up]:.4f} "
+        f"({(rtr / max(averages[runner_up], 1e-12) - 1) * 100:+.1f}%)"
+    )
+    for task_name in suite.task_names:
+        t = compare_measures(
+            suite.results["RoundTripRank+"][task_name],
+            suite.results[runner_up][task_name],
+            k=5,
+        )
+        stars = "**" if t.significant(0.01) else ("*" if t.significant(0.05) else "")
+        lines.append(
+            f"  {task_name}: diff {t.mean_difference:+.4f}, p = {t.p_value:.4f} {stars}"
+        )
+    lines.append("")
+    lines.append("paper shape: RoundTripRank+ best in every column (~+7% over")
+    lines.append("TCommute at NDCG@5 on average).")
+    return "\n".join(lines)
+
+
+def test_fig9_dual_sensed(benchmark, tasks):
+    text = benchmark.pedantic(run_fig9, args=(tasks,), rounds=1, iterations=1)
+    report("fig9_dual", text)

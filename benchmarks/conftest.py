@@ -1,0 +1,136 @@
+"""Session-scoped datasets and tasks shared across the figure benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_scale
+from repro.datasets import BibNetConfig, QLogConfig, generate_bibnet, generate_qlog
+from repro.eval import (
+    RankingTask,
+    make_author_task,
+    make_equivalent_task,
+    make_url_task,
+    make_venue_task,
+)
+from repro.graph import take_snapshots
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bibnet_eval(scale):
+    """Effectiveness-scale bibliographic network (Fig. 5, 8, 9, 10)."""
+    return generate_bibnet(
+        BibNetConfig(n_papers=scale.eval_papers, n_authors=scale.eval_authors, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def qlog_eval(scale):
+    """Effectiveness-scale query log (Fig. 5, 8, 9, 10)."""
+    return generate_qlog(QLogConfig(n_concepts=scale.eval_concepts, seed=13))
+
+
+def _disjoint_dev(make, dataset, n_dev: int, dev_seed: int, test_task: RankingTask):
+    """Development task with queries disjoint from the test task's."""
+    test_queries = {case.query for case in test_task.cases}
+    dev = make(dataset, n_dev + len(test_queries), seed=dev_seed)
+    dev.cases = [c for c in dev.cases if c.query not in test_queries][:n_dev]
+    return dev
+
+
+@pytest.fixture(scope="session")
+def tasks(scale, bibnet_eval, qlog_eval):
+    """Test and development splits for Tasks 1-4 (paper Sect. VI-A)."""
+    n_test, n_dev = scale.test_queries, scale.dev_queries
+    test = {
+        "task1": make_author_task(bibnet_eval, n_test, seed=101),
+        "task2": make_venue_task(bibnet_eval, n_test, seed=102),
+        "task3": make_url_task(qlog_eval, n_test, seed=103),
+        "task4": make_equivalent_task(qlog_eval, n_test, seed=104),
+    }
+    dev = {
+        "task1": _disjoint_dev(make_author_task, bibnet_eval, n_dev, 201, test["task1"]),
+        "task2": _disjoint_dev(make_venue_task, bibnet_eval, n_dev, 202, test["task2"]),
+        "task3": _disjoint_dev(make_url_task, qlog_eval, n_dev, 203, test["task3"]),
+        "task4": _disjoint_dev(
+            make_equivalent_task, qlog_eval, n_dev, 204, test["task4"]
+        ),
+    }
+    return {"test": test, "dev": dev}
+
+
+@pytest.fixture(scope="session")
+def bibnet_full(scale):
+    """Efficiency-scale graph for Fig. 11."""
+    return generate_bibnet(
+        BibNetConfig(n_papers=scale.full_papers, n_authors=scale.full_authors, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def efficiency_queries(scale, bibnet_full):
+    rng = np.random.default_rng(7)
+    return [
+        int(q)
+        for q in rng.choice(
+            bibnet_full.graph.n_nodes, scale.efficiency_queries, replace=False
+        )
+    ]
+
+
+@pytest.fixture(scope="session")
+def snapshot_suite(scale):
+    """Five cumulative snapshots of a growing BibNet (Fig. 12-13)."""
+    bibnet = generate_bibnet(
+        BibNetConfig(
+            n_papers=scale.snapshot_papers, n_authors=scale.snapshot_authors, seed=99
+        )
+    )
+    years = sorted(set(bibnet.node_timestamps.tolist()))
+    picks = np.linspace(2, len(years) - 1, 5).astype(int)
+    cutoffs = [years[i] for i in picks]
+    snaps = take_snapshots(bibnet.graph, bibnet.node_timestamps, cutoffs)
+    return bibnet, snaps
+
+
+@pytest.fixture(scope="session")
+def snapshot_measurements(scale, snapshot_suite):
+    """Run the Fig. 12 experiment once; Fig. 12 and Fig. 13 both read it.
+
+    For each snapshot ``i`` (served by ``i + 1`` GPs, as in the paper), a
+    fresh uniform sample of queries runs distributed 2SBound; we record the
+    snapshot size, active-set size, and query time.
+    """
+    from repro.distributed import SimulatedCluster
+
+    _, snaps = snapshot_suite
+    rows = []
+    for i, snap in enumerate(snaps):
+        rng = np.random.default_rng(71)
+        cluster = SimulatedCluster(snap.graph, n_gps=i + 1)
+        active, times = [], []
+        n_q = min(scale.snapshot_queries, snap.graph.n_nodes)
+        for q in rng.choice(snap.graph.n_nodes, n_q, replace=False):
+            _, stats = cluster.query(int(q), 10, epsilon=0.01)
+            active.append(stats.active_set_bytes)
+            times.append(stats.wall_time_s)
+        rows.append(
+            {
+                "cutoff": snap.cutoff,
+                "n_nodes": snap.graph.n_nodes,
+                "n_edges": snap.graph.n_edges,
+                "snapshot_bytes": snap.size_bytes,
+                "active_mean": float(np.mean(active)),
+                "active_ci99": 2.58 * float(np.std(active)) / np.sqrt(len(active)),
+                "time_mean": float(np.mean(times)),
+                "time_ci99": 2.58 * float(np.std(times)) / np.sqrt(len(times)),
+                "n_gps": i + 1,
+            }
+        )
+    return rows

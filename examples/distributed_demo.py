@@ -1,0 +1,57 @@
+"""Distributed 2SBound: one active processor, striped graph processors.
+
+Simulates the paper's Sect. V-B architecture in-process: the graph lives in
+round-robin stripes across N graph processors; the active processor runs
+2SBound, fetching only the adjacency it needs (the *active set*) over a
+message-accounted network.  Shows that (a) results are identical to the
+single-machine run and (b) the active set is a small fraction of the graph.
+
+    python examples/distributed_demo.py
+"""
+
+import numpy as np
+
+from repro.datasets import BibNetConfig, generate_bibnet
+from repro.distributed import SimulatedCluster
+from repro.topk import twosbound_topk
+
+
+def main() -> None:
+    print("generating synthetic bibliographic network ...")
+    bibnet = generate_bibnet(BibNetConfig(n_papers=6000, n_authors=2000, seed=59))
+    g = bibnet.graph
+    print(f"  graph: {g.n_nodes} nodes / {g.n_edges} arcs "
+          f"({g.memory_bytes / 1e6:.2f} MB under the cost model)")
+
+    n_gps = 4
+    cluster = SimulatedCluster(g, n_gps=n_gps)
+    print(f"  cluster: 1 AP + {n_gps} GPs, "
+          f"{cluster.total_gp_memory_bytes() / 1e6:.2f} MB striped across GPs")
+    for gp in cluster.processors:
+        print(f"    GP{gp.gp_id}: {gp.n_owned} nodes, "
+              f"{gp.memory_bytes / 1e6:.2f} MB")
+
+    rng = np.random.default_rng(2)
+    queries = [int(q) for q in rng.choice(bibnet.paper_nodes, 5, replace=False)]
+
+    print("\nquery            top-3 (distributed)      == local?   active set"
+          "   messages   shipped")
+    for q in queries:
+        remote, stats = cluster.query(q, k=10, epsilon=0.01)
+        local = twosbound_topk(g, q, k=10, epsilon=0.01)
+        same = "yes" if remote.nodes == local.nodes else "NO"
+        top3 = ", ".join(g.label_of(v)[:12] for v in remote.nodes[:3])
+        print(
+            f"{g.label_of(q)[:12]:15s}  {top3:24s} {same:>8s}"
+            f"   {stats.active_set_bytes / 1e3:7.1f} KB"
+            f"   {stats.messages:8d}   {stats.network_bytes / 1e3:6.1f} KB"
+        )
+
+    frac = stats.active_set_bytes / g.memory_bytes
+    print(f"\nthe active set is ~{frac:.1%} of the graph: the AP never needs")
+    print("the full graph in memory, which is what lets 2SBound scale out")
+    print("(paper Sect. V-B, Fig. 12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Expert finding (the paper's Task A): who should review this paper?
+
+Given a paper, rank authors by proximity.  The paper argues reviewers need
+a *balance*: an important-but-broad professor may miss the latest
+development, a hyper-specific student lacks authority.  We compare the
+rankings produced by beta = 0 (importance), 0.5 (balanced) and 1
+(specificity) and show how the balanced list mixes the two extremes.
+
+    python examples/expert_finding.py
+"""
+
+import numpy as np
+
+from repro.core import frank_vector, trank_vector
+from repro.core.roundtrip_plus import combine_beta
+from repro.datasets import BibNetConfig, generate_bibnet
+
+
+def main() -> None:
+    print("generating synthetic bibliographic network ...")
+    bibnet = generate_bibnet(BibNetConfig(n_papers=4000, n_authors=1200, seed=31))
+    g = bibnet.graph
+
+    # Pick a paper with several authors as the submission under review.
+    paper = next(
+        p for p in bibnet.paper_nodes.tolist() if len(bibnet.paper_authors[p]) >= 3
+    )
+    subtopic = bibnet.subtopic_names[bibnet.paper_subtopic[paper]]
+    print(f"submission: {g.label_of(paper)} (subtopic: {subtopic})")
+
+    # Exclude the paper's own authors - they cannot review it.
+    own_authors = set(bibnet.paper_authors[paper])
+    author_mask = g.type_mask("author").copy()
+    author_mask[list(own_authors)] = False
+    candidates = np.flatnonzero(author_mask)
+
+    f = frank_vector(g, paper)
+    t = trank_vector(g, paper)
+
+    print("\nrank  importance (b=0)   balanced (b=0.5)    specificity (b=1)")
+    tops = {}
+    for beta in (0.0, 0.5, 1.0):
+        scores = combine_beta(f, t, beta)
+        order = candidates[np.argsort(-scores[candidates], kind="stable")]
+        tops[beta] = [g.label_of(int(a))[len("author:"):] for a in order[:8]]
+    for i in range(8):
+        print(f"{i + 1:3d}   {tops[0.0][i]:<18s} {tops[0.5][i]:<19s} {tops[1.0][i]}")
+
+    balanced = set(tops[0.5])
+    print(
+        f"\nbalanced list shares {len(balanced & set(tops[0.0]))} reviewers with"
+        f" the importance list and {len(balanced & set(tops[1.0]))} with the"
+        " specificity list - the trade-off is real, not cosmetic."
+    )
+
+    # How productive are the top balanced reviewers? (an informal check
+    # that the balance surfaces both senior and focused people)
+    author_papers: dict[int, int] = {}
+    for p, authors in bibnet.paper_authors.items():
+        for a in authors:
+            author_papers[a] = author_papers.get(a, 0) + 1
+    label_to_id = {g.label_of(a)[len("author:"):]: a for a in candidates.tolist()}
+    print("\nbalanced reviewers' productivity (papers authored):")
+    for name in tops[0.5][:5]:
+        print(f"  {name}: {author_papers.get(label_to_id[name], 0)} papers")
+
+
+if __name__ == "__main__":
+    main()

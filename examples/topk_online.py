@@ -1,0 +1,64 @@
+"""Online top-K with 2SBound: speed vs. exactness (the Sect. V story).
+
+Compares the naive full-graph computation against 2SBound at several slack
+values on a mid-size synthetic bibliographic network, reporting query time,
+how much of the graph was explored, and ranking agreement with the exact
+answer — a miniature of the paper's Fig. 11.
+
+    python examples/topk_online.py
+"""
+
+import numpy as np
+
+from repro.datasets import BibNetConfig, generate_bibnet
+from repro.eval import kendall_tau_on_union, topk_overlap_precision
+from repro.topk import naive_topk, twosbound_topk
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    print("generating synthetic bibliographic network ...")
+    bibnet = generate_bibnet(BibNetConfig(n_papers=6000, n_authors=2000, seed=41))
+    g = bibnet.graph
+    print(f"  {g.n_nodes} nodes / {g.n_edges} arcs")
+
+    rng = np.random.default_rng(5)
+    queries = [int(q) for q in rng.choice(bibnet.paper_nodes, 10, replace=False)]
+    k = 10
+
+    with Timer() as t_naive:
+        exact = {q: naive_topk(g, q, k) for q in queries}
+    naive_ms = t_naive.elapsed_ms / len(queries)
+    print(f"\nnaive (full iterative): {naive_ms:7.1f} ms/query")
+
+    print("\n2SBound:")
+    print("epsilon   ms/query   explored   precision   kendall-tau")
+    for epsilon in (0.001, 0.01, 0.02, 0.05):
+        with Timer() as t_2sb:
+            results = {q: twosbound_topk(g, q, k, epsilon=epsilon) for q in queries}
+        ms = t_2sb.elapsed_ms / len(queries)
+        explored = np.mean([r.seen_r for r in results.values()]) / g.n_nodes
+        precision = np.mean(
+            [
+                topk_overlap_precision(results[q].nodes, exact[q].nodes, k)
+                for q in queries
+            ]
+        )
+        tau = np.mean(
+            [
+                kendall_tau_on_union(results[q].nodes, exact[q].nodes, k)
+                for q in queries
+            ]
+        )
+        print(
+            f"{epsilon:7.3f}   {ms:8.1f}   {explored:7.1%}   {precision:9.3f}"
+            f"   {tau:11.3f}"
+        )
+
+    print("\nSmaller epsilon = closer to exact but slower; the paper's")
+    print("sweet spot (quality > 0.9 at a fraction of naive time) shows in")
+    print("the middle rows.")
+
+
+if __name__ == "__main__":
+    main()

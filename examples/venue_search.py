@@ -1,0 +1,59 @@
+"""Venue search (the paper's Task B / Fig. 6-7 scenario).
+
+Given a topic as a multi-word query ("spatio temporal data"), rank venues
+three ways — importance-only, specificity-only, and RoundTripRank — on a
+synthetic bibliographic network, reproducing the qualitative contrast of
+the paper's Fig. 1/6/7: broad majors vs. focused workshops vs. a balance.
+
+    python examples/venue_search.py
+"""
+
+import numpy as np
+
+from repro.core import frank_vector, roundtriprank, trank_vector
+from repro.datasets import BibNetConfig, generate_bibnet
+
+
+def rank_venues(bibnet, scores: np.ndarray, k: int = 5) -> list[str]:
+    """Top-k venue labels by a score vector."""
+    mask = bibnet.graph.type_mask("venue")
+    venue_ids = np.flatnonzero(mask)
+    order = venue_ids[np.argsort(-scores[venue_ids], kind="stable")]
+    return [bibnet.graph.label_of(int(v))[len("venue:"):] for v in order[:k]]
+
+
+def show_query(bibnet, phrase: str) -> None:
+    query = bibnet.term_query(phrase)
+    print(f'\n=== venues for "{phrase}" (query = {len(query)} term nodes) ===')
+    f = frank_vector(bibnet.graph, query)
+    t = trank_vector(bibnet.graph, query)
+    r = roundtriprank(bibnet.graph, query)
+    columns = {
+        "(a) importance (F-Rank)": rank_venues(bibnet, f),
+        "(b) specificity (T-Rank)": rank_venues(bibnet, t),
+        "(c) balanced (RoundTripRank)": rank_venues(bibnet, r),
+    }
+    width = max(len(name) for names in columns.values() for name in names) + 2
+    print("".join(h.ljust(width + 8) for h in columns))
+    for i in range(5):
+        print("".join(names[i].ljust(width + 8) for names in columns.values()))
+
+
+def main() -> None:
+    print("generating synthetic bibliographic network ...")
+    bibnet = generate_bibnet(BibNetConfig(n_papers=4000, n_authors=1200, seed=23))
+    g = bibnet.graph
+    print(f"  {g.n_nodes} nodes / {g.n_edges} arcs, "
+          f"{len(bibnet.venue_nodes)} venues")
+
+    # The two queries of the paper's Fig. 6 and Fig. 7.
+    show_query(bibnet, "spatio temporal data")
+    show_query(bibnet, "semantic web")
+
+    print("\nExpected shape (cf. paper Fig. 6-7): importance-based ranking")
+    print("surfaces the broad *_Major venues; specificity-based ranking the")
+    print("Wkshp_* venues of the matching subtopic; RoundTripRank mixes both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment ships an older setuptools without PEP 660 editable
+wheel support, so ``pip install -e .`` goes through this legacy entry point.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

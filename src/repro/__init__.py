@@ -1,0 +1,44 @@
+"""repro — a full reproduction of RoundTripRank (Fang, Chang & Lauw, ICDE 2013).
+
+Dual-sensed graph proximity integrating *importance* (reachability from the
+query) and *specificity* (reachability back to the query) in one coherent
+random walk, plus the 2SBound online top-K algorithm and its distributed
+variant, all baselines, synthetic datasets, and the full evaluation harness.
+
+Quickstart::
+
+    from repro.datasets import toy_bibliographic_graph
+    from repro.core import roundtriprank
+
+    graph = toy_bibliographic_graph()
+    scores = roundtriprank(graph, graph.node_by_label("t1"))
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    HybridSurfers,
+    frank_vector,
+    roundtriprank,
+    roundtriprank_plus,
+    trank_vector,
+)
+from repro.graph import DiGraph, GraphBuilder
+
+__all__ = [
+    "__version__",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "HybridSurfers",
+    "DiGraph",
+    "GraphBuilder",
+    "frank_vector",
+    "trank_vector",
+    "roundtriprank",
+    "roundtriprank_plus",
+]

@@ -1,0 +1,86 @@
+"""All comparison measures of the paper's Sect. VI, behind one interface.
+
+Mono-sensed (Fig. 5): F-Rank/PPR, T-Rank, SimRank, AdamicAdar.
+Dual-sensed (Fig. 9): TCommute, ObjSqrtInv, Harmonic, Arithmetic.
+Customized dual-sensed (Fig. 10): the "+" variants with a tunable ``beta``.
+Plus the paper's own measures wrapped as :class:`ProximityMeasure` s.
+"""
+
+from repro.baselines.adamic_adar import AdamicAdarMeasure, adamic_adar_scores
+from repro.baselines.base import BetaTunable, FTMeasure, ProximityMeasure
+from repro.baselines.core_measures import (
+    FRankMeasure,
+    RoundTripRankMeasure,
+    RoundTripRankPlusMeasure,
+    TRankMeasure,
+)
+from repro.baselines.means import (
+    ArithmeticMeasure,
+    ArithmeticPlusMeasure,
+    HarmonicMeasure,
+    HarmonicPlusMeasure,
+    arithmetic_mean,
+    harmonic_mean,
+    weighted_arithmetic_mean,
+    weighted_harmonic_mean,
+)
+from repro.baselines.objectrank import (
+    global_inverse_objectrank,
+    global_objectrank,
+    inverse_objectrank,
+    objectrank,
+)
+from repro.baselines.objsqrtinv import (
+    ObjSqrtInvMeasure,
+    ObjSqrtInvPlusMeasure,
+    objsqrtinv_scores,
+)
+from repro.baselines.simrank import (
+    SimRankMeasure,
+    simrank_matrix,
+    simrank_single_source,
+)
+from repro.baselines.tcommute import (
+    TCommuteMeasure,
+    TCommutePlusMeasure,
+    hitting_time_from_exact,
+    hitting_time_from_sampled,
+    hitting_time_to,
+    truncated_commute_time,
+)
+
+__all__ = [
+    "ProximityMeasure",
+    "FTMeasure",
+    "BetaTunable",
+    "FRankMeasure",
+    "TRankMeasure",
+    "RoundTripRankMeasure",
+    "RoundTripRankPlusMeasure",
+    "SimRankMeasure",
+    "simrank_matrix",
+    "simrank_single_source",
+    "AdamicAdarMeasure",
+    "adamic_adar_scores",
+    "TCommuteMeasure",
+    "TCommutePlusMeasure",
+    "hitting_time_to",
+    "hitting_time_from_exact",
+    "hitting_time_from_sampled",
+    "truncated_commute_time",
+    "objectrank",
+    "global_objectrank",
+    "inverse_objectrank",
+    "global_inverse_objectrank",
+    "ObjSqrtInvMeasure",
+    "ObjSqrtInvPlusMeasure",
+    "objsqrtinv_scores",
+    "HarmonicMeasure",
+    "ArithmeticMeasure",
+    "HarmonicPlusMeasure",
+    "ArithmeticPlusMeasure",
+    "harmonic_mean",
+    "arithmetic_mean",
+    "weighted_harmonic_mean",
+    "weighted_arithmetic_mean",
+]

@@ -1,0 +1,83 @@
+"""The uniform proximity-measure interface used by the evaluation harness.
+
+Every measure — RoundTripRank itself and all baselines of Sect. VI — is a
+:class:`ProximityMeasure`: given a graph and a query it returns a dense
+score vector where *higher means closer* (distance-like measures negate).
+
+Many measures are functions of the F-Rank/T-Rank pair ``(f, t)``.  Those
+derive from :class:`FTMeasure`; the experiment runner computes ``(f, t)``
+once per query and shares it across all such measures, which keeps the
+Fig. 8–10 sweeps tractable.
+
+Measures with a tunable specificity bias implement :class:`BetaTunable`
+(Fig. 10 gives every baseline this customization; the paper stresses the
+customizations are implemented by the RoundTripRank authors, as here).
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.frank import DEFAULT_ALPHA, frank_vector
+from repro.core.queries import Query
+from repro.core.trank import trank_vector
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import check_probability
+
+
+class ProximityMeasure(abc.ABC):
+    """A graph-proximity ranking measure (higher score = closer to query)."""
+
+    #: short name used in result tables.
+    name: ClassVar[str] = "measure"
+    #: whether :meth:`scores_from_ft` can be used with shared (f, t).
+    uses_ft: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def scores(self, graph: DiGraph, query: Query) -> np.ndarray:
+        """Score every node of ``graph`` for ``query``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FTMeasure(ProximityMeasure):
+    """A measure that is a pointwise function of F-Rank and T-Rank."""
+
+    uses_ft: ClassVar[bool] = True
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        self.alpha = check_probability(alpha, "alpha")
+
+    @abc.abstractmethod
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Combine precomputed F-Rank and T-Rank vectors into scores."""
+
+    def scores(self, graph: DiGraph, query: Query) -> np.ndarray:
+        f = frank_vector(graph, query, self.alpha)
+        t = trank_vector(graph, query, self.alpha)
+        return self.scores_from_ft(f, t)
+
+    def scores_from_ft(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Scores from shared per-query ``(f, t)`` (see the runner)."""
+        return self.combine(f, t)
+
+
+class BetaTunable:
+    """Mixin marking a measure whose trade-off parameter ``beta`` is tunable.
+
+    ``with_beta`` returns a copy with the new bias so tuning never mutates a
+    measure another experiment is using.
+    """
+
+    beta: float
+
+    def with_beta(self, beta: float):
+        """A copy of this measure with the specificity bias set to ``beta``."""
+        clone = copy.copy(self)
+        clone.beta = check_probability(beta, "beta")
+        return clone

@@ -1,0 +1,55 @@
+"""Measure wrappers for the paper's own family (F-Rank, T-Rank, RoundTripRank).
+
+These adapt :mod:`repro.core` to the :class:`ProximityMeasure` interface so
+the evaluation harness can rank them side by side with the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.baselines.base import BetaTunable, FTMeasure
+from repro.core.frank import DEFAULT_ALPHA
+from repro.core.roundtrip_plus import DEFAULT_BETA, combine_beta
+
+
+class FRankMeasure(FTMeasure):
+    """F-Rank / Personalized PageRank — importance only (``beta = 0``)."""
+
+    name: ClassVar[str] = "F-Rank/PPR"
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return f.copy()
+
+
+class TRankMeasure(FTMeasure):
+    """T-Rank — specificity only (``beta = 1``)."""
+
+    name: ClassVar[str] = "T-Rank"
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return t.copy()
+
+
+class RoundTripRankMeasure(FTMeasure):
+    """RoundTripRank — the balanced dual-sensed measure (Prop. 2)."""
+
+    name: ClassVar[str] = "RoundTripRank"
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return f * t
+
+
+class RoundTripRankPlusMeasure(BetaTunable, FTMeasure):
+    """RoundTripRank+ at specificity bias ``beta`` (Eq. 12)."""
+
+    name: ClassVar[str] = "RoundTripRank+"
+
+    def __init__(self, beta: float = DEFAULT_BETA, alpha: float = DEFAULT_ALPHA) -> None:
+        super().__init__(alpha)
+        self.beta = beta
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return combine_beta(f, t, self.beta)

@@ -1,0 +1,101 @@
+"""Mean-based combinations of F-Rank and T-Rank (Fig. 9–10 baselines).
+
+The paper compares its geometric-mean model against the *harmonic* mean
+(the probabilistic precision/recall F-measure of Agarwal et al. and
+Fang & Chang) and the *arithmetic* mean of the same two sub-measures.
+Customized "+" variants replace the balanced means with weighted ones:
+
+- ``Harmonic+``: ``1 / ((1-beta)/f + beta/t)``
+- ``Arithmetic+``: ``(1-beta) * f + beta * t``
+
+All are pointwise functions of ``(f, t)``, so they share the runner's
+per-query F-Rank/T-Rank computation.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.baselines.base import BetaTunable, FTMeasure
+from repro.core.frank import DEFAULT_ALPHA
+
+
+def harmonic_mean(f: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Pointwise harmonic mean ``2ft / (f + t)`` (zero where both are zero)."""
+    denom = f + t
+    out = np.zeros_like(f)
+    nz = denom > 0
+    out[nz] = 2.0 * f[nz] * t[nz] / denom[nz]
+    return out
+
+
+def weighted_harmonic_mean(f: np.ndarray, t: np.ndarray, beta: float) -> np.ndarray:
+    """Weighted harmonic mean ``1 / ((1-beta)/f + beta/t)``.
+
+    Zero wherever the dominated component is zero (for interior ``beta``);
+    at the extremes it degrades to the surviving component exactly.
+    """
+    if beta == 0.0:
+        return f.copy()
+    if beta == 1.0:
+        return t.copy()
+    out = np.zeros_like(f)
+    nz = (f > 0) & (t > 0)
+    out[nz] = 1.0 / ((1.0 - beta) / f[nz] + beta / t[nz])
+    return out
+
+
+def arithmetic_mean(f: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Pointwise arithmetic mean ``(f + t) / 2``."""
+    return 0.5 * (f + t)
+
+
+def weighted_arithmetic_mean(f: np.ndarray, t: np.ndarray, beta: float) -> np.ndarray:
+    """Weighted arithmetic mean ``(1-beta) f + beta t``."""
+    return (1.0 - beta) * f + beta * t
+
+
+class HarmonicMeasure(FTMeasure):
+    """Harmonic mean of F-Rank and T-Rank (probabilistic F1)."""
+
+    name: ClassVar[str] = "Harmonic"
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return harmonic_mean(f, t)
+
+
+class ArithmeticMeasure(FTMeasure):
+    """Arithmetic mean of F-Rank and T-Rank."""
+
+    name: ClassVar[str] = "Arithmetic"
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return arithmetic_mean(f, t)
+
+
+class HarmonicPlusMeasure(BetaTunable, FTMeasure):
+    """Weighted harmonic mean (the paper's "Harmonic+")."""
+
+    name: ClassVar[str] = "Harmonic+"
+
+    def __init__(self, beta: float = 0.5, alpha: float = DEFAULT_ALPHA) -> None:
+        super().__init__(alpha)
+        self.beta = beta
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return weighted_harmonic_mean(f, t, self.beta)
+
+
+class ArithmeticPlusMeasure(BetaTunable, FTMeasure):
+    """Weighted arithmetic mean (the paper's "Arithmetic+")."""
+
+    name: ClassVar[str] = "Arithmetic+"
+
+    def __init__(self, beta: float = 0.5, alpha: float = DEFAULT_ALPHA) -> None:
+        super().__init__(alpha)
+        self.beta = beta
+
+    def combine(self, f: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return weighted_arithmetic_mean(f, t, self.beta)

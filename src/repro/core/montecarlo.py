@@ -1,0 +1,128 @@
+"""Monte Carlo random-walk engine.
+
+Simulates the paper's walk semantics directly — geometric-length trips
+(Sect. III-A) and round trips (Definition 1) — providing an independent,
+model-free estimator used to validate:
+
+- Proposition 1: geometric-length F-Rank equals Personalized PageRank;
+- Definition 2 / Proposition 2: conditional round-trip target probabilities
+  equal the normalized product ``f * t``.
+
+Walk sampling is alias-free (``rng.choice`` over per-node out-probabilities)
+and deliberately simple: correctness oracle first, speed second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range, check_node_id
+
+
+def sample_geometric_length(alpha: float, rng: np.random.Generator) -> int:
+    """Sample ``L ~ Geo(alpha)`` with ``p(L = l) = (1 - alpha)^l * alpha``.
+
+    This is the number of *failures* before the first success, i.e. the
+    support starts at 0 (a zero-length trip stays at the query).
+    """
+    # numpy's geometric counts trials to first success (support >= 1).
+    return int(rng.geometric(alpha)) - 1
+
+
+def walk_steps(graph: DiGraph, start: int, n_steps: int, rng: np.random.Generator) -> list[int]:
+    """Walk ``n_steps`` random steps from ``start``; returns all visited nodes.
+
+    The returned list has ``n_steps + 1`` entries beginning with ``start``.
+    """
+    path = [start]
+    node = start
+    for _ in range(n_steps):
+        neighbors, probs = graph.out_edges(node)
+        node = int(rng.choice(neighbors, p=probs))
+        path.append(node)
+    return path
+
+
+def estimate_frank_mc(
+    graph: DiGraph,
+    query: int,
+    alpha: float = DEFAULT_ALPHA,
+    n_samples: int = 10000,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Monte Carlo F-Rank: empirical distribution of trip targets (Eq. 1)."""
+    query = check_node_id(query, graph.n_nodes, "query")
+    check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    rng = ensure_rng(seed)
+    counts = np.zeros(graph.n_nodes)
+    for _ in range(n_samples):
+        length = sample_geometric_length(alpha, rng)
+        target = walk_steps(graph, query, length, rng)[-1]
+        counts[target] += 1
+    return counts / n_samples
+
+
+def estimate_trank_mc(
+    graph: DiGraph,
+    query: int,
+    sources: "np.ndarray | list[int] | None" = None,
+    alpha: float = DEFAULT_ALPHA,
+    n_samples: int = 2000,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Monte Carlo T-Rank: fraction of walks from each source ending at ``query``.
+
+    ``sources=None`` estimates for every node (expensive on large graphs).
+    """
+    query = check_node_id(query, graph.n_nodes, "query")
+    rng = ensure_rng(seed)
+    if sources is None:
+        sources = np.arange(graph.n_nodes)
+    sources = np.asarray(sources, dtype=np.int64)
+    result = np.zeros(graph.n_nodes)
+    for src in sources.tolist():
+        hits = 0
+        for _ in range(n_samples):
+            length = sample_geometric_length(alpha, rng)
+            if walk_steps(graph, src, length, rng)[-1] == query:
+                hits += 1
+        result[src] = hits / n_samples
+    return result
+
+
+def estimate_roundtrip_mc(
+    graph: DiGraph,
+    query: int,
+    alpha: float = DEFAULT_ALPHA,
+    n_samples: int = 50000,
+    seed: "int | np.random.Generator | None" = None,
+) -> tuple[np.ndarray, int]:
+    """Monte Carlo RoundTripRank by direct simulation of Definition 2.
+
+    Samples round trips (``L + L'`` steps with i.i.d. geometric lengths),
+    keeps those that return to the query, and histograms their targets.
+
+    Returns ``(estimated_r, n_completed)`` where ``estimated_r`` is the
+    conditional target distribution (sums to one when any trip completed)
+    and ``n_completed`` counts accepted round trips — callers should check
+    it is large enough for the estimate to be meaningful.
+    """
+    query = check_node_id(query, graph.n_nodes, "query")
+    rng = ensure_rng(seed)
+    counts = np.zeros(graph.n_nodes)
+    completed = 0
+    for _ in range(n_samples):
+        length_out = sample_geometric_length(alpha, rng)
+        length_back = sample_geometric_length(alpha, rng)
+        path = walk_steps(graph, query, length_out + length_back, rng)
+        if path[-1] == query:
+            counts[path[length_out]] += 1
+            completed += 1
+    if completed:
+        counts /= completed
+    return counts, completed

@@ -1,0 +1,100 @@
+"""Hybrid random surfers (Sect. IV-A) and the specificity bias ``beta``.
+
+RoundTripRank+ considers surfers of three minds:
+
+- ``omega_11`` — take regular round trips (balanced);
+- ``omega_10`` — shortcut the *returning* leg by teleporting back to the
+  query (importance only);
+- ``omega_01`` — shortcut the *outgoing* leg by teleporting to the target
+  (specificity only).
+
+Proposition 3 / Eq. 11 reduce any composition to a single parameter, the
+specificity bias
+
+.. math::
+
+    \\beta = \\frac{|\\Omega_{11}| + |\\Omega_{01}|}{|\\Omega| + |\\Omega_{11}|}
+    \\in [0, 1]
+
+— the fraction of all surfer objectives that are specificity (each balanced
+surfer carries two objectives).  ``beta = 0`` degenerates to F-Rank,
+``beta = 1`` to T-Rank and ``beta = 0.5`` to RoundTripRank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class HybridSurfers:
+    """A composition of hybrid random surfers ``(|Ω11|, |Ω10|, |Ω01|)``.
+
+    Sizes are non-negative reals (fractional compositions are allowed — only
+    the ratios matter) and must not all be zero.
+    """
+
+    n_balanced: float
+    n_importance: float
+    n_specificity: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_balanced, "n_balanced", strict=False)
+        check_positive(self.n_importance, "n_importance", strict=False)
+        check_positive(self.n_specificity, "n_specificity", strict=False)
+        if self.total == 0:
+            raise ValueError("at least one surfer is required")
+
+    @property
+    def total(self) -> float:
+        """``|Ω|`` — the total number of surfers."""
+        return self.n_balanced + self.n_importance + self.n_specificity
+
+    @property
+    def beta(self) -> float:
+        """The specificity bias of Eq. 11–12."""
+        return (self.n_balanced + self.n_specificity) / (self.total + self.n_balanced)
+
+    @classmethod
+    def from_beta(cls, beta: float) -> "HybridSurfers":
+        """A canonical composition realizing the given specificity bias.
+
+        The mapping from compositions to ``beta`` is many-to-one; we pick the
+        natural two-group blend: for ``beta <= 0.5`` mix balanced surfers
+        with importance-seekers, for ``beta > 0.5`` mix balanced surfers with
+        specificity-seekers.  Round-trips: ``from_beta(b).beta == b``.
+        """
+        beta = check_probability(beta, "beta")
+        if beta <= 0.5:
+            # n11 = x, n10 = 1 - x, n01 = 0  =>  beta = x / (1 + x)
+            x = beta / (1.0 - beta) if beta < 1.0 else 1.0
+            return cls(n_balanced=x, n_importance=1.0 - x, n_specificity=0.0)
+        # n11 = y, n10 = 0, n01 = 1 - y  =>  beta = 1 / (1 + y)
+        y = (1.0 - beta) / beta
+        return cls(n_balanced=y, n_importance=0.0, n_specificity=1.0 - y)
+
+    @classmethod
+    def balanced(cls) -> "HybridSurfers":
+        """All surfers take regular round trips — plain RoundTripRank."""
+        return cls(1.0, 0.0, 0.0)
+
+    @classmethod
+    def importance_only(cls) -> "HybridSurfers":
+        """All surfers shortcut the return — degenerates to F-Rank."""
+        return cls(0.0, 1.0, 0.0)
+
+    @classmethod
+    def specificity_only(cls) -> "HybridSurfers":
+        """All surfers shortcut the outgoing leg — degenerates to T-Rank."""
+        return cls(0.0, 0.0, 1.0)
+
+    @property
+    def exponents(self) -> tuple[float, float]:
+        """Normalized exponents ``(on f, on t)`` of Eq. 11; they sum to one."""
+        denom = self.total + self.n_balanced
+        return (
+            (self.n_balanced + self.n_importance) / denom,
+            (self.n_balanced + self.n_specificity) / denom,
+        )

@@ -1,0 +1,22 @@
+"""Datasets: the paper's toy graph plus synthetic BibNet and QLog generators.
+
+The real DBLP/Citeseer network and MSN query log are not redistributable;
+:mod:`repro.datasets.bibnet` and :mod:`repro.datasets.qlog` generate
+structure-preserving synthetic substitutes (see DESIGN.md, Substitutions).
+"""
+
+from repro.datasets.bibnet import BibNet, BibNetConfig, generate_bibnet
+from repro.datasets.qlog import QLog, QLogConfig, generate_qlog
+from repro.datasets.toy import FIG4_EXPECTED_MASS, TOY_TYPE_NAMES, toy_bibliographic_graph
+
+__all__ = [
+    "BibNet",
+    "BibNetConfig",
+    "generate_bibnet",
+    "QLog",
+    "QLogConfig",
+    "generate_qlog",
+    "FIG4_EXPECTED_MASS",
+    "TOY_TYPE_NAMES",
+    "toy_bibliographic_graph",
+]

@@ -1,0 +1,58 @@
+"""The paper's running toy example (Fig. 2).
+
+A tiny bibliographic network with two terms, seven papers and three venues:
+
+- ``t1`` ("spatio") tags papers ``p1..p5``; ``t2`` ("transaction") tags the
+  off-topic papers ``p6, p7``;
+- venue ``v1`` accepts ``p1, p2, p6, p7`` (important but unspecific),
+- venue ``v2`` accepts ``p3, p4`` (important *and* specific),
+- venue ``v3`` accepts ``p5`` (specific but less important).
+
+All edges are undirected with equal weight, matching the paper's setup.  The
+Fig. 4 table follows: with constant walk lengths ``L = L' = 2`` and query
+``t1``, the unnormalized round-trip masses are ``v1: 0.05``, ``v2: 0.1``,
+``v3: 0.05``, ``t1: 0.25``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+TOY_TYPE_NAMES = ["term", "paper", "venue"]
+
+
+def toy_bibliographic_graph() -> DiGraph:
+    """Build the Fig. 2 toy graph (12 nodes, 13 undirected edges)."""
+    b = GraphBuilder(type_names=TOY_TYPE_NAMES)
+    t1 = b.add_node("t1", "term")
+    t2 = b.add_node("t2", "term")
+    papers = [b.add_node(f"p{i}", "paper") for i in range(1, 8)]
+    v1 = b.add_node("v1", "venue")
+    v2 = b.add_node("v2", "venue")
+    v3 = b.add_node("v3", "venue")
+
+    # Terms tag papers: t1 covers p1..p5, t2 covers the off-topic p6, p7.
+    for p in papers[:5]:
+        b.add_edge(t1, p, directed=False)
+    for p in papers[5:]:
+        b.add_edge(t2, p, directed=False)
+
+    # Venues accept papers.
+    for p in (papers[0], papers[1], papers[5], papers[6]):
+        b.add_edge(v1, p, directed=False)
+    for p in (papers[2], papers[3]):
+        b.add_edge(v2, p, directed=False)
+    b.add_edge(v3, papers[4], directed=False)
+
+    return b.build()
+
+
+#: The paper's Fig. 4 expected unnormalized round-trip probability mass per
+#: target for query t1 with constant L = L' = 2 (labels -> mass).
+FIG4_EXPECTED_MASS = {
+    "v1": 0.05,
+    "v2": 0.10,
+    "v3": 0.05,
+    "t1": 0.25,
+}

@@ -1,0 +1,28 @@
+"""Distributed 2SBound (Sect. V-B): AP/GP architecture over striped memory."""
+
+from repro.distributed.active_processor import RemoteGraphAccess
+from repro.distributed.cluster import ClusterQueryStats, SimulatedCluster
+from repro.distributed.graph_processor import GraphProcessor
+from repro.distributed.messages import (
+    AdjacencyEntry,
+    AdjacencyRequest,
+    AdjacencyResponse,
+    DegreeRequest,
+    DegreeResponse,
+    NetworkStats,
+)
+from repro.distributed.striping import StripeMap
+
+__all__ = [
+    "RemoteGraphAccess",
+    "ClusterQueryStats",
+    "SimulatedCluster",
+    "GraphProcessor",
+    "StripeMap",
+    "AdjacencyEntry",
+    "AdjacencyRequest",
+    "AdjacencyResponse",
+    "DegreeRequest",
+    "DegreeResponse",
+    "NetworkStats",
+]

@@ -1,0 +1,152 @@
+"""Active processor (AP): runs 2SBound against striped graph processors.
+
+The AP never holds the full graph.  It incrementally assembles the *active
+set* — exactly the adjacency lists 2SBound's expansions request — in a local
+cache, fetching misses from the owning GPs in per-GP batched messages
+(``prefetch`` is called by the expansion code at natural batch boundaries).
+
+:class:`RemoteGraphAccess` implements the same :class:`GraphAccess`
+interface the local algorithm uses, so the distributed run is bit-for-bit
+the same algorithm — only the adjacency transport differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.graph_processor import GraphProcessor
+from repro.distributed.messages import (
+    AdjacencyRequest,
+    DegreeRequest,
+    NetworkStats,
+)
+from repro.distributed.striping import StripeMap
+from repro.graph.digraph import DiGraph
+from repro.topk.graphaccess import GraphAccess
+
+
+class RemoteGraphAccess(GraphAccess):
+    """Graph access that fetches adjacency from GPs and caches it locally."""
+
+    def __init__(
+        self,
+        stripes: StripeMap,
+        processors: list[GraphProcessor],
+        n_nodes: int,
+        has_self_loops: bool,
+    ) -> None:
+        if stripes.n_gps != len(processors):
+            raise ValueError(
+                f"stripe map expects {stripes.n_gps} GPs, got {len(processors)}"
+            )
+        self._stripes = stripes
+        self._processors = processors
+        self._n_nodes = n_nodes
+        self._has_self_loops = has_self_loops
+        self._out_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._in_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._degree_cache: dict[int, int] = {}
+        self._in_degree_cache: dict[int, int] = {}
+        self.network = NetworkStats()
+
+    # ------------------------------ fetch ------------------------------ #
+
+    def _fetch(self, nodes: np.ndarray, want_out: bool, want_in: bool) -> None:
+        """Fetch adjacency of ``nodes`` (cache misses only), batched per GP."""
+        missing = [
+            int(v)
+            for v in np.asarray(nodes, dtype=np.int64).tolist()
+            if (want_out and v not in self._out_cache)
+            or (want_in and v not in self._in_cache)
+        ]
+        if not missing:
+            return
+        for gp_id, owned in self._stripes.partition(np.asarray(missing)).items():
+            request = AdjacencyRequest(
+                gp_id=gp_id, nodes=owned, want_out=want_out, want_in=want_in
+            )
+            self.network.record(gp_id, request.payload_bytes)
+            response = self._processors[gp_id].serve_adjacency(request)
+            self.network.record(gp_id, response.payload_bytes)
+            for entry in response.entries:
+                if entry.out_neighbors is not None:
+                    self._out_cache[entry.node] = (entry.out_neighbors, entry.out_probs)
+                if entry.in_neighbors is not None:
+                    self._in_cache[entry.node] = (entry.in_neighbors, entry.in_probs)
+                self._degree_cache[entry.node] = entry.out_degree
+
+    def prefetch(self, nodes: np.ndarray, out: bool = True, incoming: bool = False) -> None:
+        self._fetch(nodes, want_out=out, want_in=incoming)
+
+    # --------------------------- GraphAccess --------------------------- #
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n_nodes
+
+    def out_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        if node not in self._out_cache:
+            self._fetch(np.asarray([node]), want_out=True, want_in=False)
+        return self._out_cache[node]
+
+    def in_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        if node not in self._in_cache:
+            self._fetch(np.asarray([node]), want_out=False, want_in=True)
+        return self._in_cache[node]
+
+    def out_degree(self, node: int) -> int:
+        if node not in self._degree_cache:
+            self.out_degrees(np.asarray([node]))
+        return self._degree_cache[node]
+
+    def out_degrees(self, nodes: np.ndarray) -> np.ndarray:
+        return self._degrees(nodes, "out", self._degree_cache)
+
+    def in_degrees(self, nodes: np.ndarray) -> np.ndarray:
+        return self._degrees(nodes, "in", self._in_degree_cache)
+
+    def _degrees(self, nodes: np.ndarray, kind: str, cache: dict[int, int]) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        missing = np.asarray(
+            [v for v in nodes.tolist() if v not in cache], dtype=np.int64
+        )
+        if missing.size:
+            for gp_id, owned in self._stripes.partition(missing).items():
+                request = DegreeRequest(gp_id=gp_id, nodes=owned, kind=kind)
+                self.network.record(gp_id, request.payload_bytes)
+                response = self._processors[gp_id].serve_degrees(request)
+                self.network.record(gp_id, response.payload_bytes)
+                for node, degree in zip(response.nodes.tolist(), response.degrees.tolist()):
+                    cache[node] = degree
+        return np.asarray([cache[int(v)] for v in nodes.tolist()], dtype=np.int64)
+
+    @property
+    def has_self_loops(self) -> bool:
+        return self._has_self_loops
+
+    # --------------------------- accounting ---------------------------- #
+
+    @property
+    def active_node_count(self) -> int:
+        """Distinct nodes whose adjacency (either direction) is cached."""
+        nodes = set(self._out_cache) | set(self._in_cache)
+        for neighbors, _ in self._out_cache.values():
+            nodes.update(int(v) for v in neighbors)
+        for neighbors, _ in self._in_cache.values():
+            nodes.update(int(v) for v in neighbors)
+        return len(nodes)
+
+    @property
+    def active_arc_count(self) -> int:
+        """Cached adjacency entries (per direction)."""
+        return sum(v[0].size for v in self._out_cache.values()) + sum(
+            v[0].size for v in self._in_cache.values()
+        )
+
+    @property
+    def active_set_bytes(self) -> int:
+        """Model-based size of the assembled active set (Fig. 12)."""
+        return (
+            self.active_node_count * DiGraph.NODE_BYTES
+            + self.active_arc_count * DiGraph.ARC_BYTES
+        )

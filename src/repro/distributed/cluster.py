@@ -1,0 +1,105 @@
+"""The simulated AP/GP cluster: striping, query execution, accounting.
+
+Builds the architecture of Sect. V-B2 in-process: one active processor and
+``n_gps`` graph processors over round-robin stripes.  Queries run the exact
+2SBound algorithm through :class:`RemoteGraphAccess`; the returned stats
+carry everything Fig. 12–13 plot (active-set size, query time) plus network
+accounting the paper only discusses qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.distributed.active_processor import RemoteGraphAccess
+from repro.distributed.graph_processor import GraphProcessor
+from repro.distributed.striping import StripeMap
+from repro.graph.digraph import DiGraph
+from repro.topk.twosbound import DEFAULT_M_F, DEFAULT_M_T, TopKResult, twosbound_topk
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class ClusterQueryStats:
+    """Per-query accounting from a distributed 2SBound run."""
+
+    query: int
+    wall_time_s: float
+    active_nodes: int
+    active_arcs: int
+    active_set_bytes: int
+    messages: int
+    network_bytes: int
+
+
+class SimulatedCluster:
+    """One AP plus ``n_gps`` striped GPs over a given graph."""
+
+    def __init__(self, graph: DiGraph, n_gps: int) -> None:
+        if n_gps < 1:
+            raise ValueError(f"n_gps must be >= 1, got {n_gps}")
+        self.graph = graph
+        self.stripes = StripeMap(graph.n_nodes, n_gps)
+        self.processors = [
+            GraphProcessor(gp_id, graph, self.stripes.owned_nodes(gp_id))
+            for gp_id in range(n_gps)
+        ]
+        self._has_self_loops = bool(graph.transition.diagonal().any())
+
+    @property
+    def n_gps(self) -> int:
+        return len(self.processors)
+
+    def total_gp_memory_bytes(self) -> int:
+        """Aggregate stripe memory across GPs.
+
+        Roughly twice the graph size: every arc is stored by both its
+        source's owner (out-list) and its destination's owner (in-list).
+        """
+        return sum(gp.memory_bytes for gp in self.processors)
+
+    def new_access(self) -> RemoteGraphAccess:
+        """A fresh AP-side access (empty active set) for one query."""
+        return RemoteGraphAccess(
+            self.stripes, self.processors, self.graph.n_nodes, self._has_self_loops
+        )
+
+    def query(
+        self,
+        query: int,
+        k: int,
+        epsilon: float = 0.01,
+        alpha: float = DEFAULT_ALPHA,
+        m_f: int = DEFAULT_M_F,
+        m_t: int = DEFAULT_M_T,
+        scheme: str = "2sbound",
+    ) -> tuple[TopKResult, ClusterQueryStats]:
+        """Run one distributed top-K query; returns result and accounting."""
+        access = self.new_access()
+        with Timer() as timer:
+            result = twosbound_topk(
+                access,
+                query,
+                k,
+                epsilon=epsilon,
+                alpha=alpha,
+                m_f=m_f,
+                m_t=m_t,
+                scheme=scheme,
+            )
+        stats = ClusterQueryStats(
+            query=query,
+            wall_time_s=timer.elapsed,
+            active_nodes=access.active_node_count,
+            active_arcs=access.active_arc_count,
+            active_set_bytes=access.active_set_bytes,
+            messages=access.network.messages_sent,
+            network_bytes=access.network.bytes_sent,
+        )
+        result.stats.update(
+            active_set_bytes=stats.active_set_bytes,
+            messages=stats.messages,
+            network_bytes=stats.network_bytes,
+        )
+        return result, stats

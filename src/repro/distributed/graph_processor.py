@@ -1,0 +1,103 @@
+"""Graph processor (GP): owns a stripe of the graph and serves adjacency.
+
+"Each GP stores a subset of the nodes and edges in its main memory ...
+Upon an expansion request from AP during query processing, each GP
+identifies the requested active nodes and edges stored in it, and sends
+them back to AP."  (Sect. V-B2)
+
+The stripe is stored as plain per-node adjacency dictionaries — the GP
+deliberately does *not* keep the full graph object, so a bug in the AP
+cannot accidentally read unowned state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.messages import (
+    AdjacencyEntry,
+    AdjacencyRequest,
+    AdjacencyResponse,
+    DegreeRequest,
+    DegreeResponse,
+)
+from repro.graph.digraph import DiGraph
+
+
+class GraphProcessor:
+    """One striped worker holding the adjacency of its owned nodes."""
+
+    def __init__(self, gp_id: int, graph: DiGraph, owned_nodes: np.ndarray) -> None:
+        self.gp_id = gp_id
+        self._out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._in: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._out_degree: dict[int, int] = {}
+        out_degrees = graph.out_degrees
+        for node in np.asarray(owned_nodes, dtype=np.int64).tolist():
+            neighbors, probs = graph.out_edges(node)
+            self._out[node] = (neighbors.copy(), probs.copy())
+            neighbors_in, probs_in = graph.in_edges(node)
+            self._in[node] = (neighbors_in.copy(), probs_in.copy())
+            self._out_degree[node] = int(out_degrees[node])
+        self.requests_served = 0
+
+    @property
+    def n_owned(self) -> int:
+        """Number of nodes stored on this GP."""
+        return len(self._out)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Model-based memory footprint of this stripe."""
+        arcs = sum(v[0].size for v in self._out.values()) + sum(
+            v[0].size for v in self._in.values()
+        )
+        return self.n_owned * DiGraph.NODE_BYTES + arcs * DiGraph.ARC_BYTES
+
+    def owns(self, node: int) -> bool:
+        """Whether this GP stores the stripe containing ``node``."""
+        return node in self._out
+
+    def serve_adjacency(self, request: AdjacencyRequest) -> AdjacencyResponse:
+        """Answer an adjacency request for owned nodes.
+
+        Raises ``KeyError`` when asked for a node this GP does not own —
+        that would be an AP routing bug, not a recoverable condition.
+        """
+        if request.gp_id != self.gp_id:
+            raise ValueError(f"request routed to GP {self.gp_id} but addressed {request.gp_id}")
+        entries: list[AdjacencyEntry] = []
+        for node in request.nodes.tolist():
+            if node not in self._out:
+                raise KeyError(f"GP {self.gp_id} does not own node {node}")
+            out_n, out_p = self._out[node] if request.want_out else (None, None)
+            in_n, in_p = self._in[node] if request.want_in else (None, None)
+            entries.append(
+                AdjacencyEntry(
+                    node=node,
+                    out_neighbors=out_n,
+                    out_probs=out_p,
+                    in_neighbors=in_n,
+                    in_probs=in_p,
+                    out_degree=self._out_degree[node],
+                )
+            )
+        self.requests_served += 1
+        return AdjacencyResponse(gp_id=self.gp_id, entries=entries)
+
+    def serve_degrees(self, request: DegreeRequest) -> DegreeResponse:
+        """Answer a bulk degree request (out-degrees or in-list lengths)."""
+        if request.gp_id != self.gp_id:
+            raise ValueError(f"request routed to GP {self.gp_id} but addressed {request.gp_id}")
+        if request.kind == "out":
+            degrees = np.asarray(
+                [self._out_degree[node] for node in request.nodes.tolist()],
+                dtype=np.int64,
+            )
+        else:
+            degrees = np.asarray(
+                [self._in[node][0].size for node in request.nodes.tolist()],
+                dtype=np.int64,
+            )
+        self.requests_served += 1
+        return DegreeResponse(gp_id=self.gp_id, nodes=request.nodes, degrees=degrees)

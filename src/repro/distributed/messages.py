@@ -1,0 +1,123 @@
+"""AP <-> GP message types with byte accounting.
+
+The simulation does not serialize anything for real; instead every message
+carries a ``payload_bytes`` computed from a fixed cost model so that network
+volume is measurable and deterministic:
+
+- a node id costs 8 bytes;
+- an adjacency entry (neighbor id + transition probability) costs 12 bytes,
+  matching :attr:`DiGraph.ARC_BYTES`;
+- a degree costs 4 bytes;
+- every message pays a fixed 64-byte envelope (headers/framing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+NODE_ID_BYTES = 8
+ADJ_ENTRY_BYTES = 12
+DEGREE_BYTES = 4
+ENVELOPE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AdjacencyRequest:
+    """AP asks a GP for the adjacency of the owned ``nodes``.
+
+    ``want_out`` / ``want_in`` select which directions to ship.
+    """
+
+    gp_id: int
+    nodes: np.ndarray
+    want_out: bool = True
+    want_in: bool = False
+
+    @property
+    def payload_bytes(self) -> int:
+        return ENVELOPE_BYTES + int(self.nodes.size) * NODE_ID_BYTES
+
+
+@dataclass(frozen=True)
+class AdjacencyEntry:
+    """Adjacency of one node as shipped by its owning GP."""
+
+    node: int
+    out_neighbors: "np.ndarray | None"
+    out_probs: "np.ndarray | None"
+    in_neighbors: "np.ndarray | None"
+    in_probs: "np.ndarray | None"
+    out_degree: int
+
+    @property
+    def payload_bytes(self) -> int:
+        total = NODE_ID_BYTES + DEGREE_BYTES
+        if self.out_neighbors is not None:
+            total += int(self.out_neighbors.size) * ADJ_ENTRY_BYTES
+        if self.in_neighbors is not None:
+            total += int(self.in_neighbors.size) * ADJ_ENTRY_BYTES
+        return total
+
+
+@dataclass(frozen=True)
+class AdjacencyResponse:
+    """GP reply carrying the requested adjacency entries."""
+
+    gp_id: int
+    entries: list[AdjacencyEntry]
+
+    @property
+    def payload_bytes(self) -> int:
+        return ENVELOPE_BYTES + sum(e.payload_bytes for e in self.entries)
+
+
+@dataclass(frozen=True)
+class DegreeRequest:
+    """AP asks a GP for node degrees.
+
+    ``kind`` selects the direction: ``"out"`` serves the BCA benefit
+    heuristic, ``"in"`` the t-side border bookkeeping (in-list lengths).
+    """
+
+    gp_id: int
+    nodes: np.ndarray
+    kind: str = "out"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("out", "in"):
+            raise ValueError(f"kind must be 'out' or 'in', got {self.kind!r}")
+
+    @property
+    def payload_bytes(self) -> int:
+        return ENVELOPE_BYTES + int(self.nodes.size) * NODE_ID_BYTES
+
+
+@dataclass(frozen=True)
+class DegreeResponse:
+    """GP reply with out-degrees aligned to the requested nodes."""
+
+    gp_id: int
+    nodes: np.ndarray
+    degrees: np.ndarray
+
+    @property
+    def payload_bytes(self) -> int:
+        return ENVELOPE_BYTES + int(self.nodes.size) * (NODE_ID_BYTES + DEGREE_BYTES)
+
+
+@dataclass
+class NetworkStats:
+    """Running totals of simulated network traffic."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    #: request/response counts per GP id
+    per_gp_messages: dict[int, int] = field(default_factory=dict)
+
+    def record(self, gp_id: int, payload_bytes: int) -> None:
+        """Account one message of ``payload_bytes`` to/from ``gp_id``."""
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+        self.per_gp_messages[gp_id] = self.per_gp_messages.get(gp_id, 0) + 1

@@ -1,0 +1,48 @@
+"""Data striping (Sect. V-B2): round-robin node assignment across GPs.
+
+"We assign nodes (along with their edges) in the graph to GPs in a
+round-robin fashion" — node ``v`` lives on graph processor ``v mod n_gps``.
+Striping aggregates the main memory of the processors and lets the AP fetch
+different parts of the graph in parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StripeMap:
+    """Round-robin ownership map from node id to graph-processor id."""
+
+    def __init__(self, n_nodes: int, n_gps: int) -> None:
+        if n_nodes < 0:
+            raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
+        if n_gps < 1:
+            raise ValueError(f"n_gps must be >= 1, got {n_gps}")
+        self.n_nodes = n_nodes
+        self.n_gps = n_gps
+
+    def owner(self, node: int) -> int:
+        """GP id owning ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        return node % self.n_gps
+
+    def owned_nodes(self, gp_id: int) -> np.ndarray:
+        """All node ids owned by ``gp_id``."""
+        if not 0 <= gp_id < self.n_gps:
+            raise ValueError(f"gp_id {gp_id} out of range [0, {self.n_gps})")
+        return np.arange(gp_id, self.n_nodes, self.n_gps, dtype=np.int64)
+
+    def partition(self, nodes: np.ndarray) -> dict[int, np.ndarray]:
+        """Group ``nodes`` by owning GP (for batched requests)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        owners = nodes % self.n_gps
+        return {
+            int(gp): nodes[owners == gp]
+            for gp in np.unique(owners)
+        }
+
+    def assignment(self) -> np.ndarray:
+        """Owner GP id for every node (length ``n_nodes``)."""
+        return np.arange(self.n_nodes, dtype=np.int64) % self.n_gps

@@ -1,0 +1,60 @@
+"""Evaluation harness: metrics, significance, tasks and the runner."""
+
+from repro.eval.metrics import (
+    average_precision,
+    dcg_at_k,
+    kendall_tau_on_union,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_from_scores,
+    topk_overlap_precision,
+)
+from repro.eval.runner import (
+    DEFAULT_K_VALUES,
+    FTCache,
+    MeasureTaskResult,
+    TaskSuiteResult,
+    compare_measures,
+    evaluate_measure,
+    evaluate_measures,
+    run_task_suite,
+    tune_beta,
+)
+from repro.eval.significance import PairedTTestResult, paired_t_test
+from repro.eval.tasks import (
+    QueryCase,
+    RankingTask,
+    make_author_task,
+    make_equivalent_task,
+    make_url_task,
+    make_venue_task,
+)
+
+__all__ = [
+    "average_precision",
+    "mean_reciprocal_rank",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "topk_overlap_precision",
+    "kendall_tau_on_union",
+    "ranking_from_scores",
+    "DEFAULT_K_VALUES",
+    "FTCache",
+    "MeasureTaskResult",
+    "TaskSuiteResult",
+    "evaluate_measure",
+    "evaluate_measures",
+    "run_task_suite",
+    "tune_beta",
+    "compare_measures",
+    "PairedTTestResult",
+    "paired_t_test",
+    "QueryCase",
+    "RankingTask",
+    "make_author_task",
+    "make_venue_task",
+    "make_url_task",
+    "make_equivalent_task",
+]

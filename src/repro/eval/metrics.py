@@ -1,0 +1,169 @@
+"""Ranking metrics: NDCG@K with ungraded judgments, precision@K, Kendall's tau.
+
+The effectiveness experiments (Fig. 5, 8–10) evaluate a filtered ranking
+against a reserved ground-truth set with NDCG@K and *ungraded* (binary)
+judgments; the efficiency experiment (Fig. 11b) compares an approximate
+top-K against the exact one with NDCG, precision and Kendall's tau.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of the first ``k`` relevance grades.
+
+    Uses the standard ``rel_i / log2(i + 1)`` discount with 1-based ranks.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rel = np.asarray(relevances, dtype=np.float64)[:k]
+    if rel.size == 0:
+        return 0.0
+    discounts = np.log2(np.arange(2, rel.size + 2))
+    return float(np.sum(rel / discounts))
+
+
+def ndcg_at_k(ranking: Sequence[int], relevant: "set[int] | frozenset[int]", k: int) -> float:
+    """NDCG@K with ungraded judgments (the paper's effectiveness metric).
+
+    ``ranking`` is the candidate list best-first; ``relevant`` the
+    ground-truth set.  The ideal DCG places ``min(k, |relevant|)`` hits at
+    the top.  Returns 0.0 when the ground truth is empty.
+    """
+    if not relevant:
+        return 0.0
+    gains = [1.0 if node in relevant else 0.0 for node in ranking[:k]]
+    ideal = [1.0] * min(k, len(relevant))
+    idcg = dcg_at_k(ideal, k)
+    if idcg == 0.0:
+        return 0.0
+    return dcg_at_k(gains, k) / idcg
+
+
+def precision_at_k(ranking: Sequence[int], relevant: "set[int] | frozenset[int]", k: int) -> float:
+    """Fraction of the top ``k`` that is relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for node in top if node in relevant)
+    return hits / k
+
+
+def topk_overlap_precision(approx: Sequence[int], exact: Sequence[int], k: int) -> float:
+    """Set overlap of two top-K lists (the Fig. 11b "precision").
+
+    ``|approx[:k] ∩ exact[:k]| / k`` — position-insensitive, so every missed
+    node costs the same regardless of rank.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return len(set(approx[:k]) & set(exact[:k])) / k
+
+
+def kendall_tau_on_union(approx: Sequence[int], exact: Sequence[int], k: int) -> float:
+    """Kendall's tau between two top-K lists (the Fig. 11b "Kendall's tau").
+
+    Both lists are truncated to ``k``; the comparison runs over the union of
+    the two sets, ranking absent nodes after all present ones (at a shared
+    tied position).  Returns a value in [-1, 1]; 1.0 iff the lists agree
+    exactly.  Ties are handled with the tau-b correction.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    a_list = list(approx[:k])
+    e_list = list(exact[:k])
+    union = sorted(set(a_list) | set(e_list))
+    if len(union) < 2:
+        return 1.0
+
+    def ranks(lst: list[int]) -> dict[int, float]:
+        pos = {node: float(i) for i, node in enumerate(lst)}
+        absent_rank = float(len(lst))  # shared (tied) rank after the list
+        return {node: pos.get(node, absent_rank) for node in union}
+
+    ra = ranks(a_list)
+    re = ranks(e_list)
+    concordant = discordant = 0
+    ties_a = ties_e = 0
+    items = list(union)
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            da = ra[items[i]] - ra[items[j]]
+            de = re[items[i]] - re[items[j]]
+            if da == 0 and de == 0:
+                continue
+            if da == 0:
+                ties_a += 1
+            elif de == 0:
+                ties_e += 1
+            elif (da > 0) == (de > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    n0 = concordant + discordant + ties_a + ties_e
+    denom = np.sqrt((concordant + discordant + ties_a) * (concordant + discordant + ties_e))
+    if n0 == 0 or denom == 0:
+        return 1.0
+    return float((concordant - discordant) / denom)
+
+
+def mean_reciprocal_rank(ranking: Sequence[int], relevant: "set[int] | frozenset[int]") -> float:
+    """Reciprocal rank of the first relevant hit (0.0 when none appears).
+
+    Not used by the paper's tables, but a standard companion metric the
+    examples and downstream users of the harness may want.
+    """
+    for i, node in enumerate(ranking, start=1):
+        if node in relevant:
+            return 1.0 / i
+    return 0.0
+
+
+def average_precision(ranking: Sequence[int], relevant: "set[int] | frozenset[int]") -> float:
+    """Average precision of a ranking against a binary relevance set.
+
+    Precision is averaged at each relevant hit's position and normalized
+    by ``|relevant|``; returns 0.0 for an empty ground truth.
+    """
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for i, node in enumerate(ranking, start=1):
+        if node in relevant:
+            hits += 1
+            total += hits / i
+    return total / len(relevant)
+
+
+def ranking_from_scores(
+    scores: np.ndarray,
+    *,
+    exclude: "set[int] | frozenset[int] | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+    limit: "int | None" = None,
+) -> list[int]:
+    """Best-first node ranking from a score vector.
+
+    ``exclude`` drops nodes (e.g. the query itself); ``candidate_mask``
+    restricts to a node type (the paper filters to the target type before
+    evaluating).  Ties break by node id for determinism.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    eligible = np.ones(scores.shape[0], dtype=bool)
+    if candidate_mask is not None:
+        eligible &= np.asarray(candidate_mask, dtype=bool)
+    if exclude:
+        eligible[list(exclude)] = False
+    idx = np.flatnonzero(eligible)
+    # stable mergesort on -score gives score-descending, id-ascending order.
+    order = idx[np.argsort(-scores[idx], kind="stable")]
+    if limit is not None:
+        order = order[:limit]
+    return order.tolist()

@@ -1,0 +1,211 @@
+"""The experiment runner: evaluate measures on tasks, tune beta, compare.
+
+Reproduces the paper's methodology end to end:
+
+- rank, filter (query node out, target type only), score with NDCG@K;
+- share one F-Rank/T-Rank computation per query across every measure that
+  is a function of ``(f, t)`` (all of Fig. 8–10 sweeps);
+- tune each :class:`BetaTunable` measure's bias on *development* queries
+  disjoint from the test queries, exactly as Sect. VI-A2 prescribes;
+- compare two measures with the paper's two-tail paired t-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BetaTunable, ProximityMeasure
+from repro.core.frank import DEFAULT_ALPHA, frank_vector
+from repro.core.trank import trank_vector
+from repro.eval.metrics import ndcg_at_k, ranking_from_scores
+from repro.eval.significance import PairedTTestResult, paired_t_test
+from repro.eval.tasks import QueryCase, RankingTask
+
+DEFAULT_K_VALUES = (5, 10, 20)
+
+
+@dataclass
+class MeasureTaskResult:
+    """Per-task evaluation of one measure: per-query NDCG at each K."""
+
+    measure_name: str
+    task_name: str
+    k_values: tuple[int, ...]
+    #: shape (n_queries, len(k_values))
+    ndcg: np.ndarray
+
+    def mean_ndcg(self, k: int) -> float:
+        """Mean NDCG@k over all queries."""
+        return float(self.ndcg[:, self.k_values.index(k)].mean())
+
+    def per_query(self, k: int) -> np.ndarray:
+        """Per-query NDCG@k column (for paired significance tests)."""
+        return self.ndcg[:, self.k_values.index(k)]
+
+
+class FTCache:
+    """Per-case cache of the (F-Rank, T-Rank) pair shared across measures."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        self.alpha = alpha
+        self._store: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def get(self, case_key: int, case: QueryCase) -> tuple[np.ndarray, np.ndarray]:
+        """The (f, t) pair for a case, computing it on first access."""
+        if case_key not in self._store:
+            f = frank_vector(case.graph, case.query, self.alpha)
+            t = trank_vector(case.graph, case.query, self.alpha)
+            self._store[case_key] = (f, t)
+        return self._store[case_key]
+
+    def clear(self) -> None:
+        """Drop all cached (f, t) pairs."""
+        self._store.clear()
+
+
+def evaluate_measure(
+    measure: ProximityMeasure,
+    task: RankingTask,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    ft_cache: "FTCache | None" = None,
+) -> MeasureTaskResult:
+    """Evaluate one measure over all cases of a task."""
+    k_values = tuple(k_values)
+    if not k_values or any(k <= 0 for k in k_values):
+        raise ValueError(f"k_values must be positive, got {k_values}")
+    max_k = max(k_values)
+    rows = np.zeros((len(task.cases), len(k_values)))
+    for i, case in enumerate(task.cases):
+        if measure.uses_ft and ft_cache is not None:
+            f, t = ft_cache.get(i, case)
+            scores = measure.scores_from_ft(f, t)  # type: ignore[attr-defined]
+        else:
+            scores = measure.scores(case.graph, case.query)
+        ranking = ranking_from_scores(
+            scores,
+            exclude=case.excluded,
+            candidate_mask=case.candidate_mask,
+            limit=max(max_k, len(case.ground_truth)) + len(case.ground_truth),
+        )
+        for j, k in enumerate(k_values):
+            rows[i, j] = ndcg_at_k(ranking, case.ground_truth, k)
+    return MeasureTaskResult(
+        measure_name=measure.name,
+        task_name=task.name,
+        k_values=k_values,
+        ndcg=rows,
+    )
+
+
+def evaluate_measures(
+    measures: Iterable[ProximityMeasure],
+    task: RankingTask,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, MeasureTaskResult]:
+    """Evaluate several measures on one task with a shared (f, t) cache."""
+    cache = FTCache(alpha)
+    results = {}
+    for measure in measures:
+        results[measure.name] = evaluate_measure(measure, task, k_values, ft_cache=cache)
+    return results
+
+
+def tune_beta(
+    measure: BetaTunable,
+    dev_task: RankingTask,
+    betas: Sequence[float] = tuple(np.round(np.linspace(0.0, 1.0, 11), 2)),
+    k: int = 5,
+    alpha: float = DEFAULT_ALPHA,
+) -> tuple[float, dict[float, float]]:
+    """Pick the beta maximizing mean NDCG@k on development queries.
+
+    Returns ``(best_beta, {beta: mean_ndcg})``.  Ties prefer the beta
+    closest to 0.5 (the paper's default), then the smaller beta, making the
+    choice deterministic.
+    """
+    if not isinstance(measure, ProximityMeasure):
+        raise TypeError("measure must be a ProximityMeasure with a tunable beta")
+    cache = FTCache(alpha)
+    curve: dict[float, float] = {}
+    for beta in betas:
+        candidate = measure.with_beta(float(beta))
+        result = evaluate_measure(candidate, dev_task, (k,), ft_cache=cache)
+        curve[float(beta)] = result.mean_ndcg(k)
+    best = max(curve.items(), key=lambda kv: (kv[1], -abs(kv[0] - 0.5), -kv[0]))
+    return best[0], curve
+
+
+def compare_measures(
+    result_a: MeasureTaskResult,
+    result_b: MeasureTaskResult,
+    k: int = 5,
+) -> PairedTTestResult:
+    """Two-tail paired t-test between two measures' per-query NDCG@k."""
+    return paired_t_test(result_a.per_query(k), result_b.per_query(k))
+
+
+@dataclass
+class TaskSuiteResult:
+    """Results of several measures across several tasks (a Fig. 5/9 table)."""
+
+    k_values: tuple[int, ...]
+    #: results[measure_name][task_name]
+    results: dict[str, dict[str, MeasureTaskResult]] = field(default_factory=dict)
+
+    def add(self, result: MeasureTaskResult) -> None:
+        """Insert one measure-on-task result into the suite."""
+        self.results.setdefault(result.measure_name, {})[result.task_name] = result
+
+    @property
+    def measure_names(self) -> list[str]:
+        return list(self.results)
+
+    @property
+    def task_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for per_task in self.results.values():
+            for name in per_task:
+                seen.setdefault(name)
+        return list(seen)
+
+    def average_ndcg(self, measure_name: str, k: int) -> float:
+        """Mean NDCG@k across tasks (the paper's "Average" column)."""
+        per_task = self.results[measure_name]
+        return float(np.mean([r.mean_ndcg(k) for r in per_task.values()]))
+
+    def format_table(self, k_values: "Sequence[int] | None" = None) -> str:
+        """Render the Fig. 5/9-style table: tasks x K columns, Average last."""
+        k_values = tuple(k_values or self.k_values)
+        tasks = self.task_names
+        header_cols = [f"{t} @ {k}" for t in tasks for k in k_values]
+        header_cols += [f"Avg @ {k}" for k in k_values]
+        name_w = max(len(m) for m in self.measure_names) + 2
+        lines = ["".ljust(name_w) + "  ".join(c.rjust(10) for c in header_cols)]
+        for m in self.measure_names:
+            cells = []
+            for t in tasks:
+                for k in k_values:
+                    cells.append(f"{self.results[m][t].mean_ndcg(k):.4f}".rjust(10))
+            for k in k_values:
+                cells.append(f"{self.average_ndcg(m, k):.4f}".rjust(10))
+            lines.append(m.ljust(name_w) + "  ".join(cells))
+        return "\n".join(lines)
+
+
+def run_task_suite(
+    measures: Sequence[ProximityMeasure],
+    tasks: Sequence[RankingTask],
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    alpha: float = DEFAULT_ALPHA,
+) -> TaskSuiteResult:
+    """Evaluate every measure on every task (one shared FT cache per task)."""
+    suite = TaskSuiteResult(k_values=tuple(k_values))
+    for task in tasks:
+        per_task = evaluate_measures(measures, task, k_values, alpha)
+        for result in per_task.values():
+            suite.add(result)
+    return suite

@@ -1,0 +1,211 @@
+"""The paper's four benchmark ranking tasks (Sect. VI-A methodology).
+
+Each task reserves nodes with a *known association* to the query as ground
+truth, removes all direct edges between the query and the ground truth, and
+asks each measure to re-discover the reserved nodes:
+
+- **Task 1 (Author)** — BibNet: given a paper, find its authors;
+- **Task 2 (Venue)** — BibNet: given a paper, find its venue;
+- **Task 3 (Relevant URL)** — QLog: given a phrase, find one randomly
+  chosen clicked URL;
+- **Task 4 (Equivalent search)** — QLog: given a phrase, find the phrases
+  with the exact same non-stop words (no direct edges exist — phrases only
+  connect through URLs — so nothing needs removal, but the removal step
+  still runs for uniformity).
+
+Evaluation filters out the query node and every node not of the target
+type, then scores the filtered ranking with NDCG@K (ungraded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.queries import Query
+from repro.datasets.bibnet import BibNet
+from repro.datasets.qlog import QLog
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class QueryCase:
+    """One evaluation query: the modified graph, query node(s) and truth."""
+
+    query: Query
+    ground_truth: frozenset[int]
+    graph: DiGraph
+    #: nodes to exclude from the ranking (at minimum the query nodes).
+    excluded: frozenset[int]
+    #: boolean mask of candidate nodes (the target type), length n_nodes.
+    candidate_mask: np.ndarray
+
+
+@dataclass
+class RankingTask:
+    """A named collection of query cases over one dataset."""
+
+    name: str
+    target_type: str
+    cases: list[QueryCase] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+
+def _removed_graph(graph: DiGraph, query_nodes: list[int], truth: list[int]) -> DiGraph:
+    """Remove all direct arcs (both directions) between query and truth nodes."""
+    arcs = []
+    for q in query_nodes:
+        for g in truth:
+            arcs.append((q, g))
+            arcs.append((g, q))
+    return graph.with_removed_edges(arcs)
+
+
+def make_author_task(
+    bibnet: BibNet,
+    n_queries: int,
+    seed: "int | np.random.Generator | None" = None,
+    name: str = "Task 1 (Author)",
+) -> RankingTask:
+    """Task 1: given a paper, re-discover its authors."""
+    rng = ensure_rng(seed)
+    graph = bibnet.graph
+    eligible = [p for p in bibnet.paper_nodes.tolist() if bibnet.paper_authors.get(p)]
+    queries = _sample(eligible, n_queries, rng)
+    mask = graph.type_mask("author")
+    task = RankingTask(name=name, target_type="author")
+    for q in queries:
+        truth = bibnet.paper_authors[q]
+        task.cases.append(
+            QueryCase(
+                query=q,
+                ground_truth=frozenset(truth),
+                graph=_removed_graph(graph, [q], truth),
+                excluded=frozenset([q]),
+                candidate_mask=mask,
+            )
+        )
+    return task
+
+
+def make_venue_task(
+    bibnet: BibNet,
+    n_queries: int,
+    seed: "int | np.random.Generator | None" = None,
+    name: str = "Task 2 (Venue)",
+) -> RankingTask:
+    """Task 2: given a paper, re-discover its venue."""
+    rng = ensure_rng(seed)
+    graph = bibnet.graph
+    eligible = [p for p in bibnet.paper_nodes.tolist() if p in bibnet.paper_venue]
+    queries = _sample(eligible, n_queries, rng)
+    mask = graph.type_mask("venue")
+    task = RankingTask(name=name, target_type="venue")
+    for q in queries:
+        truth = [bibnet.paper_venue[q]]
+        task.cases.append(
+            QueryCase(
+                query=q,
+                ground_truth=frozenset(truth),
+                graph=_removed_graph(graph, [q], truth),
+                excluded=frozenset([q]),
+                candidate_mask=mask,
+            )
+        )
+    return task
+
+
+def make_url_task(
+    qlog: QLog,
+    n_queries: int,
+    seed: "int | np.random.Generator | None" = None,
+    name: str = "Task 3 (Relevant URL)",
+) -> RankingTask:
+    """Task 3: given a phrase, re-discover one randomly chosen clicked URL.
+
+    The reserved URL is a *click* drawn at random, i.e. URLs are chosen with
+    probability proportional to their click count on this phrase — exactly
+    what sampling a clicked URL from a log does.  This is why the task leans
+    toward importance (Sect. VI-A2: "users are often biased to click on
+    important and well-known sites").
+
+    Only phrases with at least two distinct clicked URLs are eligible: with
+    a single URL, removing the edge disconnects the phrase entirely and no
+    measure can recover anything.
+    """
+    rng = ensure_rng(seed)
+    graph = qlog.graph
+    eligible = [
+        p
+        for p in qlog.phrase_nodes.tolist()
+        if qlog.phrase_clicked_urls.get(p) and len(graph.out_neighbors(p)) >= 2
+    ]
+    queries = _sample(eligible, n_queries, rng)
+    mask = graph.type_mask("url")
+    task = RankingTask(name=name, target_type="url")
+    for q in queries:
+        urls = graph.out_neighbors(q)
+        clicks = np.array([graph.edge_weight(q, int(u)) for u in urls])
+        chosen = int(urls[rng.choice(urls.size, p=clicks / clicks.sum())])
+        truth = [chosen]
+        task.cases.append(
+            QueryCase(
+                query=q,
+                ground_truth=frozenset(truth),
+                graph=_removed_graph(graph, [q], truth),
+                excluded=frozenset([q]),
+                candidate_mask=mask,
+            )
+        )
+    return task
+
+
+def make_equivalent_task(
+    qlog: QLog,
+    n_queries: int,
+    seed: "int | np.random.Generator | None" = None,
+    name: str = "Task 4 (Equivalent search)",
+) -> RankingTask:
+    """Task 4: given a phrase, find the equivalent phrasings.
+
+    Equivalence follows the paper's textual rule — identical non-stop-word
+    sets — computed directly on phrase text via :meth:`QLog.equivalent_phrases`.
+    """
+    rng = ensure_rng(seed)
+    graph = qlog.graph
+    equivalents = {
+        p: qlog.equivalent_phrases(p)
+        for p in qlog.phrase_nodes.tolist()
+    }
+    eligible = [p for p, eq in equivalents.items() if eq]
+    queries = _sample(eligible, n_queries, rng)
+    mask = graph.type_mask("phrase")
+    task = RankingTask(name=name, target_type="phrase")
+    for q in queries:
+        truth = equivalents[q]
+        task.cases.append(
+            QueryCase(
+                query=q,
+                ground_truth=frozenset(truth),
+                graph=_removed_graph(graph, [q], truth),
+                excluded=frozenset([q]),
+                candidate_mask=mask,
+            )
+        )
+    return task
+
+
+def _sample(eligible: list[int], n_queries: int, rng: np.random.Generator) -> list[int]:
+    """Sample up to ``n_queries`` distinct queries from the eligible pool."""
+    if not eligible:
+        raise ValueError("no eligible query nodes for this task")
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if n_queries >= len(eligible):
+        return sorted(eligible)
+    chosen = rng.choice(len(eligible), size=n_queries, replace=False)
+    return sorted(np.asarray(eligible)[chosen].tolist())

@@ -1,0 +1,152 @@
+"""Incremental construction of :class:`~repro.graph.digraph.DiGraph`.
+
+The builder accumulates nodes and edges in plain Python lists and emits an
+immutable CSR-backed graph.  Undirected edges are materialized as two arcs,
+matching the paper's convention ("an undirected edge is treated as
+bidirectional", Sect. I).  Duplicate arcs are summed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DiGraph
+
+
+class GraphBuilder:
+    """Mutable graph under construction.
+
+    >>> b = GraphBuilder(type_names=["paper", "term"])
+    >>> p = b.add_node("p1", "paper")
+    >>> t = b.add_node("t1", "term")
+    >>> b.add_edge(p, t, weight=1.0, directed=False)
+    >>> g = b.build()
+    >>> g.n_nodes, g.n_edges
+    (2, 2)
+    """
+
+    def __init__(self, type_names: "Sequence[str] | None" = None) -> None:
+        self._labels: list[str] = []
+        self._types: list[int] = []
+        self._type_names = list(type_names) if type_names is not None else None
+        self._label_to_id: dict[str, int] = {}
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._wgt: list[float] = []
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes added so far."""
+        return len(self._labels)
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of arcs added so far (before duplicate merging)."""
+        return len(self._src)
+
+    def add_node(self, label: "str | None" = None, node_type: "str | None" = None) -> int:
+        """Add a node; returns its id.
+
+        Labels must be unique when given.  ``node_type`` is required when the
+        builder was created with ``type_names`` and must be one of them.
+        """
+        node_id = len(self._labels)
+        if label is None:
+            label = f"n{node_id}"
+        if label in self._label_to_id:
+            raise ValueError(f"duplicate node label {label!r}")
+        if self._type_names is not None:
+            if node_type is None:
+                raise ValueError("node_type is required for a typed graph")
+            try:
+                code = self._type_names.index(node_type)
+            except ValueError:
+                raise ValueError(
+                    f"unknown node type {node_type!r}; expected one of {self._type_names}"
+                ) from None
+            self._types.append(code)
+        elif node_type is not None:
+            raise ValueError("builder was created without type_names; cannot type nodes")
+        self._labels.append(label)
+        self._label_to_id[label] = node_id
+        return node_id
+
+    def node_id(self, label: str) -> int:
+        """Id of a previously added node by label."""
+        return self._label_to_id[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._label_to_id
+
+    def get_or_add_node(self, label: str, node_type: "str | None" = None) -> int:
+        """Return the id of ``label``, adding the node if it does not exist."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        return self.add_node(label, node_type)
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0, directed: bool = True) -> None:
+        """Add an edge.  ``directed=False`` adds both arcs with this weight."""
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) references unknown nodes (n={n})")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be > 0, got {weight}")
+        self._src.append(u)
+        self._dst.append(v)
+        self._wgt.append(float(weight))
+        if not directed:
+            self._src.append(v)
+            self._dst.append(u)
+            self._wgt.append(float(weight))
+
+    def build(self) -> DiGraph:
+        """Freeze into an immutable :class:`DiGraph` (duplicate arcs summed)."""
+        n = len(self._labels)
+        w = sp.csr_matrix(
+            (self._wgt, (self._src, self._dst)),
+            shape=(n, n),
+            dtype=np.float64,
+        )
+        w.sum_duplicates()
+        return DiGraph(
+            w,
+            labels=self._labels,
+            node_types=self._types if self._type_names is not None else None,
+            type_names=self._type_names,
+        )
+
+
+def graph_from_edges(
+    n_nodes: int,
+    edges: "Sequence[tuple[int, int]] | Sequence[tuple[int, int, float]]",
+    directed: bool = True,
+    labels: "Sequence[str] | None" = None,
+) -> DiGraph:
+    """Convenience constructor from an edge list.
+
+    Each edge is ``(u, v)`` or ``(u, v, weight)``.  With ``directed=False``
+    every edge contributes both arcs.
+    """
+    src: list[int] = []
+    dst: list[int] = []
+    wgt: list[float] = []
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge  # type: ignore[misc]
+            weight = 1.0
+        else:
+            u, v, weight = edge  # type: ignore[misc]
+        src.append(u)
+        dst.append(v)
+        wgt.append(float(weight))
+        if not directed:
+            src.append(v)
+            dst.append(u)
+            wgt.append(float(weight))
+    w = sp.csr_matrix((wgt, (src, dst)), shape=(n_nodes, n_nodes), dtype=np.float64)
+    w.sum_duplicates()
+    return DiGraph(w, labels=labels)

@@ -1,0 +1,86 @@
+"""Heterogeneous (typed) graph helpers.
+
+The paper's BibNet is a typed network (papers, authors, terms, venues) whose
+edge weights are set "following a previous work [14]" (Sarkar et al.,
+ICML'08): each *edge type* — an ordered pair of node types — carries a
+relative weight that scales all raw edge weights of that type before row
+normalization.  This lets a paper's citation edges matter more or less than
+its term edges when the random surfer picks the next step.
+
+:func:`apply_type_weights` implements exactly that rescaling and returns a
+new :class:`DiGraph`; everything downstream (F-Rank, T-Rank, 2SBound, the
+baselines) is agnostic to types beyond the final weights.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+#: Default relative edge-type weights for bibliographic networks, in the
+#: spirit of Sarkar et al. [14]: citation edges carry the most authority
+#: flow, venue/author affiliation edges moderate, term edges the least
+#: (terms are many and individually weak).
+DEFAULT_BIBNET_TYPE_WEIGHTS: dict[tuple[str, str], float] = {
+    ("paper", "paper"): 4.0,
+    ("paper", "venue"): 2.0,
+    ("venue", "paper"): 2.0,
+    ("paper", "author"): 2.0,
+    ("author", "paper"): 2.0,
+    ("paper", "term"): 1.0,
+    ("term", "paper"): 1.0,
+}
+
+
+def apply_type_weights(
+    graph: DiGraph,
+    type_weights: Mapping[tuple[str, str], float],
+    default: float = 1.0,
+) -> DiGraph:
+    """Rescale edge weights by node-type pair.
+
+    Every arc ``u -> v`` has its raw weight multiplied by
+    ``type_weights[(type_of(u), type_of(v))]`` (or ``default`` when the pair
+    is not listed).  A weight of zero removes the edge type entirely.
+
+    Raises ``ValueError`` when the graph is untyped.
+    """
+    if graph.node_types is None or graph.type_names is None:
+        raise ValueError("apply_type_weights requires a typed graph")
+    for (src_t, dst_t), w in type_weights.items():
+        if w < 0:
+            raise ValueError(f"type weight for ({src_t!r}, {dst_t!r}) must be >= 0, got {w}")
+
+    n_types = len(graph.type_names)
+    factor = np.full((n_types, n_types), float(default))
+    for (src_t, dst_t), w in type_weights.items():
+        factor[graph.type_code(src_t), graph.type_code(dst_t)] = float(w)
+
+    coo = graph.weights.tocoo()
+    scaled = coo.data * factor[graph.node_types[coo.row], graph.node_types[coo.col]]
+    import scipy.sparse as sp
+
+    new_w = sp.csr_matrix((scaled, (coo.row, coo.col)), shape=coo.shape)
+    return DiGraph(
+        new_w,
+        labels=graph.labels,
+        node_types=graph.node_types,
+        type_names=graph.type_names,
+    )
+
+
+def edge_type_counts(graph: DiGraph) -> dict[tuple[str, str], int]:
+    """Histogram of arcs by (source type, destination type) pair."""
+    if graph.node_types is None or graph.type_names is None:
+        raise ValueError("edge_type_counts requires a typed graph")
+    coo = graph.weights.tocoo()
+    names = graph.type_names
+    counts: dict[tuple[str, str], int] = {}
+    pair_codes = graph.node_types[coo.row].astype(np.int64) * len(names) + graph.node_types[coo.col]
+    codes, freq = np.unique(pair_codes, return_counts=True)
+    for code, f in zip(codes.tolist(), freq.tolist()):
+        counts[(names[code // len(names)], names[code % len(names)])] = f
+    return counts

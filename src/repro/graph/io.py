@@ -1,0 +1,54 @@
+"""Graph serialization: a simple JSON + edge-array container format.
+
+The format stores node labels/types and the weighted arc list.  It is meant
+for persisting generated datasets and exchanging small graphs in tests, not
+for web-scale storage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DiGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: DiGraph, path: "str | Path") -> None:
+    """Write ``graph`` to ``path`` as JSON (arcs in COO form)."""
+    coo = graph.weights.tocoo()
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "n_nodes": graph.n_nodes,
+        "src": coo.row.tolist(),
+        "dst": coo.col.tolist(),
+        "weight": coo.data.tolist(),
+        "labels": graph.labels,
+        "node_types": graph.node_types.tolist() if graph.node_types is not None else None,
+        "type_names": graph.type_names,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_graph(path: "str | Path") -> DiGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    n = payload["n_nodes"]
+    w = sp.csr_matrix(
+        (payload["weight"], (payload["src"], payload["dst"])),
+        shape=(n, n),
+        dtype=np.float64,
+    )
+    return DiGraph(
+        w,
+        labels=payload["labels"],
+        node_types=payload["node_types"],
+        type_names=payload["type_names"],
+    )

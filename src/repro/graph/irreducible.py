@@ -1,0 +1,79 @@
+"""Irreducibility utilities (the Sect. III-B caveat).
+
+If a directed path exists from ``q`` to ``v`` but not back, ``t(q, v) = 0``
+and hence ``r(q, v) = 0`` regardless of how large ``f(q, v)`` is.  The paper
+notes this cannot happen on an irreducible (strongly connected) graph and
+that "in practice, we can always make a graph irreducible by adding some
+dummy edges".  This module provides both the check and the augmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.graph.digraph import DiGraph
+
+
+def strongly_connected_components(graph: DiGraph) -> tuple[int, np.ndarray]:
+    """Number of SCCs and the component label of each node."""
+    n_comp, labels = connected_components(graph.weights, directed=True, connection="strong")
+    return int(n_comp), labels
+
+
+def is_strongly_connected(graph: DiGraph) -> bool:
+    """Whether the graph is irreducible (one strongly connected component)."""
+    if graph.n_nodes == 0:
+        return True
+    n_comp, _ = strongly_connected_components(graph)
+    return n_comp == 1
+
+
+def make_irreducible(graph: DiGraph, dummy_weight_fraction: float = 1e-3) -> DiGraph:
+    """Add low-weight dummy edges until the graph is strongly connected.
+
+    The SCCs of the condensation DAG are stitched into a single cycle with
+    one dummy arc per consecutive SCC pair (between arbitrary representative
+    nodes).  Each dummy arc's weight is ``dummy_weight_fraction`` times the
+    source node's current out-weight sum (or 1.0 for isolated nodes), so the
+    perturbation to transition probabilities is small and controllable.
+
+    Returns the same graph object when it is already irreducible.
+    """
+    if dummy_weight_fraction <= 0:
+        raise ValueError(f"dummy_weight_fraction must be > 0, got {dummy_weight_fraction}")
+    n_comp, labels = strongly_connected_components(graph)
+    if n_comp <= 1:
+        return graph
+
+    # One representative node per SCC, in SCC-label order.
+    representatives = np.zeros(n_comp, dtype=np.int64)
+    seen = np.zeros(n_comp, dtype=bool)
+    for node in range(graph.n_nodes):
+        comp = labels[node]
+        if not seen[comp]:
+            representatives[comp] = node
+            seen[comp] = True
+
+    out_strength = np.asarray(graph.weights.sum(axis=1)).ravel()
+    src: list[int] = []
+    dst: list[int] = []
+    wgt: list[float] = []
+    for i in range(n_comp):
+        u = int(representatives[i])
+        v = int(representatives[(i + 1) % n_comp])
+        base = out_strength[u] if out_strength[u] > 0 else 1.0
+        src.append(u)
+        dst.append(v)
+        wgt.append(float(base) * dummy_weight_fraction)
+
+    dummy = sp.csr_matrix(
+        (wgt, (src, dst)), shape=(graph.n_nodes, graph.n_nodes), dtype=np.float64
+    )
+    return DiGraph(
+        graph.weights + dummy,
+        labels=graph.labels,
+        node_types=graph.node_types,
+        type_names=graph.type_names,
+    )

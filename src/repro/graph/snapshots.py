@@ -1,0 +1,83 @@
+"""Growing-graph snapshots (Fig. 12–13 substrate).
+
+The paper models graph growth by taking five *cumulative* snapshots of each
+dataset at increasing timestamps (BibNet by publication year, QLog by day).
+Our dataset generators attach an integer ``timestamp`` to every node; a
+snapshot keeps every node with ``timestamp <= cutoff`` plus all edges among
+kept nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A cumulative snapshot of a growing graph.
+
+    Attributes
+    ----------
+    cutoff:
+        The timestamp this snapshot was taken at.
+    graph:
+        The induced subgraph of nodes born at or before ``cutoff``.
+    original_ids:
+        ``original_ids[i]`` is the full-graph id of snapshot node ``i``.
+    """
+
+    cutoff: int
+    graph: DiGraph
+    original_ids: np.ndarray
+
+    @property
+    def size_bytes(self) -> int:
+        """Model-based size of this snapshot (see :attr:`DiGraph.memory_bytes`)."""
+        return self.graph.memory_bytes
+
+
+def take_snapshots(
+    graph: DiGraph,
+    timestamps: np.ndarray,
+    cutoffs: Sequence[int],
+) -> list[Snapshot]:
+    """Build cumulative snapshots of ``graph`` at each cutoff.
+
+    ``timestamps[v]`` is the birth time of node ``v``.  Cutoffs must be
+    non-decreasing; each snapshot contains every node born at or before its
+    cutoff (so later snapshots are supersets of earlier ones).
+    """
+    timestamps = np.asarray(timestamps)
+    if timestamps.shape != (graph.n_nodes,):
+        raise ValueError(
+            f"timestamps has shape {timestamps.shape}, expected ({graph.n_nodes},)"
+        )
+    if list(cutoffs) != sorted(cutoffs):
+        raise ValueError("cutoffs must be non-decreasing")
+    snapshots: list[Snapshot] = []
+    for cutoff in cutoffs:
+        nodes = np.flatnonzero(timestamps <= cutoff)
+        if nodes.size == 0:
+            raise ValueError(f"snapshot at cutoff {cutoff} would be empty")
+        sub, ids = graph.subgraph(nodes)
+        snapshots.append(Snapshot(cutoff=int(cutoff), graph=sub, original_ids=ids))
+    return snapshots
+
+
+def growth_rates(values: Sequence[float]) -> list[float]:
+    """Normalize a series by its first element (the paper's "rate of growth").
+
+    Fig. 13 plots snapshot size, active-set size and query time normalized by
+    their values on the first snapshot.
+    """
+    if not values:
+        return []
+    base = float(values[0])
+    if base == 0:
+        raise ValueError("first value is zero; growth rate undefined")
+    return [float(v) / base for v in values]

@@ -1,0 +1,97 @@
+"""Graph statistics: degree distributions and densification power laws.
+
+Sect. V-B of the paper grounds the active-set analysis in the observation of
+Leskovec et al. that average degree follows a power law in graph size,
+``avg_degree ~ c * n^(a-1)`` with ``1 < a < 2`` on most real graphs.  The
+:func:`fit_densification` helper estimates ``(c, a)`` from a series of
+snapshots, which the tests use to check that our synthetic generators
+actually densify like real graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary statistics of a graph's degree distribution."""
+
+    n_nodes: int
+    n_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    # Complementary-CDF-based tail exponent estimate (Hill estimator) of the
+    # in-degree distribution; NaN when degrees are too uniform to estimate.
+    in_degree_tail_exponent: float
+
+
+def degree_summary(graph: DiGraph, tail_fraction: float = 0.1) -> DegreeSummary:
+    """Compute a :class:`DegreeSummary` for ``graph``."""
+    out_deg = graph.out_degrees
+    in_deg = graph.in_degrees
+    return DegreeSummary(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        avg_out_degree=float(out_deg.mean()) if graph.n_nodes else 0.0,
+        max_out_degree=int(out_deg.max()) if graph.n_nodes else 0,
+        max_in_degree=int(in_deg.max()) if graph.n_nodes else 0,
+        in_degree_tail_exponent=hill_tail_exponent(in_deg, tail_fraction),
+    )
+
+
+def hill_tail_exponent(degrees: np.ndarray, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the power-law tail exponent of a degree sample.
+
+    Uses the top ``tail_fraction`` of strictly positive degrees.  Returns NaN
+    when fewer than 10 tail samples are available.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    degrees = degrees[degrees > 0]
+    if degrees.size == 0:
+        return float("nan")
+    k = max(int(degrees.size * tail_fraction), 1)
+    if k < 10:
+        return float("nan")
+    tail = np.sort(degrees)[-k:]
+    x_min = tail[0]
+    if x_min <= 0 or np.all(tail == x_min):
+        return float("nan")
+    return 1.0 + k / float(np.sum(np.log(tail / x_min)))
+
+
+def fit_densification(
+    n_nodes_series: Sequence[int],
+    n_edges_series: Sequence[int],
+) -> tuple[float, float]:
+    """Fit ``edges ~ c * nodes^a`` over a snapshot series; returns ``(c, a)``.
+
+    ``a`` is the densification exponent (Leskovec et al.); average degree
+    then grows as ``c * n^(a-1)``, the form the paper's Sect. V-B analysis
+    assumes.  Requires at least two snapshots with distinct node counts.
+    """
+    nodes = np.asarray(n_nodes_series, dtype=np.float64)
+    edges = np.asarray(n_edges_series, dtype=np.float64)
+    if nodes.shape != edges.shape or nodes.size < 2:
+        raise ValueError("need >= 2 snapshots with matching node/edge series")
+    if np.any(nodes <= 0) or np.any(edges <= 0):
+        raise ValueError("node and edge counts must be positive")
+    if np.unique(nodes).size < 2:
+        raise ValueError("node counts must not all be equal")
+    log_n = np.log(nodes)
+    log_e = np.log(edges)
+    a, log_c = np.polyfit(log_n, log_e, 1)
+    return float(np.exp(log_c)), float(a)
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Average out-degree (arcs per node)."""
+    if graph.n_nodes == 0:
+        return 0.0
+    return graph.n_edges / graph.n_nodes

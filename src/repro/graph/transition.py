@@ -1,0 +1,59 @@
+"""Transition-matrix utilities.
+
+The one-step transition probability :math:`M_{uv}` (Sect. III-B of the
+paper) is the row-normalized edge weight.  :class:`DiGraph` computes and
+caches it; this module provides the free functions used there plus helpers
+for inspecting stochasticity and dangling nodes, which the tests and the
+irreducibility utilities rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DiGraph, _row_normalize_with_self_loops
+
+
+def row_normalize(weights: sp.spmatrix, dangling: str = "self-loop") -> sp.csr_matrix:
+    """Row-normalize a non-negative weight matrix into a stochastic matrix.
+
+    ``dangling`` selects how zero rows are handled:
+
+    - ``"self-loop"`` (default): the dangling node keeps all probability mass
+      on itself, matching :attr:`DiGraph.transition`;
+    - ``"error"``: raise ``ValueError`` if any row sums to zero.
+    """
+    weights = sp.csr_matrix(weights, dtype=np.float64)
+    row_sums = np.asarray(weights.sum(axis=1)).ravel()
+    if dangling == "error":
+        if np.any(row_sums == 0):
+            bad = np.flatnonzero(row_sums == 0)[:5].tolist()
+            raise ValueError(f"dangling rows with no out-edges: {bad} ...")
+        inv = 1.0 / row_sums
+        out = weights.multiply(inv[:, None]).tocsr()
+        out.sort_indices()
+        return out
+    if dangling == "self-loop":
+        return _row_normalize_with_self_loops(weights)
+    raise ValueError(f"unknown dangling policy {dangling!r}")
+
+
+def dangling_nodes(graph: DiGraph) -> np.ndarray:
+    """Ids of nodes with no raw out-edges."""
+    return np.flatnonzero(graph.out_degrees == 0)
+
+
+def is_row_stochastic(matrix: sp.spmatrix, atol: float = 1e-9) -> bool:
+    """Whether every row of ``matrix`` sums to one (within ``atol``)."""
+    row_sums = np.asarray(sp.csr_matrix(matrix).sum(axis=1)).ravel()
+    return bool(np.allclose(row_sums, 1.0, atol=atol))
+
+
+def transition_power_step(p: sp.csr_matrix, dist: np.ndarray) -> np.ndarray:
+    """One forward step of a walk distribution: ``dist @ P``.
+
+    ``dist[v]`` is the probability of being at ``v``; the result is the
+    distribution after one random-walk step.
+    """
+    return np.asarray(dist @ p).ravel()

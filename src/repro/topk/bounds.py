@@ -1,0 +1,56 @@
+"""Bounds decomposition for RoundTripRank (Sect. V-A2, Eq. 15–16).
+
+The r-neighborhood is ``S = Sf ∩ St``.  For ``v ∈ S`` the RoundTripRank
+bounds multiply the per-side bounds (Eq. 15); all other nodes share the
+unseen upper bound of Eq. 16, which must account for nodes seen by exactly
+one side:
+
+.. math::
+
+    \\hat r(q) = \\max\\Big\\{ \\hat f(q)\\hat t(q),\\;
+        \\max_{v \\in S_f \\setminus S} \\hat f(q,v)\\hat t(q),\\;
+        \\max_{v \\in S_t \\setminus S} \\hat f(q)\\hat t(q,v) \\Big\\}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topk.fbound import FBoundSide
+from repro.topk.tbound import TBoundSide
+
+
+@dataclass
+class CombinedBounds:
+    """RoundTripRank bounds over the r-neighborhood ``S = Sf ∩ St``."""
+
+    #: node ids in ``S`` (sorted ascending)
+    nodes: np.ndarray
+    #: lower / upper RoundTripRank bounds aligned with ``nodes``
+    lower: np.ndarray
+    upper: np.ndarray
+    #: Eq. 16 upper bound for every node outside ``S``
+    unseen_upper: float
+
+
+def combine_bounds(f_side: FBoundSide, t_side: TBoundSide) -> CombinedBounds:
+    """Combine per-side bounds into RoundTripRank bounds (Eq. 15–16)."""
+    in_s = f_side.seen & t_side.seen
+    nodes = np.flatnonzero(in_s)
+    lower = f_side.lower[nodes] * t_side.lower[nodes]
+    upper = f_side.upper[nodes] * t_side.upper[nodes]
+
+    f_hat = f_side.unseen_upper
+    t_hat = t_side.unseen_upper
+    unseen = f_hat * t_hat
+
+    f_only = f_side.seen & ~t_side.seen
+    if f_only.any():
+        unseen = max(unseen, float(f_side.upper[f_only].max()) * t_hat)
+    t_only = t_side.seen & ~f_side.seen
+    if t_only.any():
+        unseen = max(unseen, f_hat * float(t_side.upper[t_only].max()))
+
+    return CombinedBounds(nodes=nodes, lower=lower, upper=upper, unseen_upper=unseen)

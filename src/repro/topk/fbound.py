@@ -1,0 +1,264 @@
+"""F-side of 2SBound: BCA expansion with Prop. 4 bounds and Stage-II refinement.
+
+Stage I (Sect. V-A3, Realization of F-Rank):
+
+- expansion picks up to ``m`` nodes with the largest benefit
+  ``mu(v)/|Out(v)|`` and BCA-processes them; the f-neighborhood ``Sf`` is
+  the set of nodes with non-zero estimated PPR;
+- bounds are initialized from the BCA state via Proposition 4:
+
+  .. math::
+
+      \\hat f^{(0)}(q) &= \\tfrac{\\alpha}{2-\\alpha} \\max_u \\mu(q,u)
+          + \\tfrac{1-\\alpha}{2-\\alpha} \\sum_u \\mu(q,u) \\\\
+      \\check f^{(0)}(q,v) &= \\rho(q,v) \\qquad
+      \\hat f^{(0)}(q,v) = \\rho(q,v) + \\hat f^{(0)}(q)
+
+Stage II refines the per-node bounds to a fixed point of the monotone
+Eq. 17–18 updates over the in-neighbor structure of ``Sf``.
+
+Two *weaker schemes* reproduce the paper's efficiency baselines
+(Fig. 11a): ``bound_style="gupta"`` drops the ``1/(2-alpha)``
+repeated-return discount (Gupta et al. account only for residual arriving
+for the first time), and ``refine="off"`` skips Stage II entirely — the
+"Gupta" and "G+S" configurations.
+
+Self-loop caveat: the ``1/(2-alpha)`` discount assumes a return trip takes
+at least two steps.  On graphs whose transition matrix has self-loops
+(e.g. the dangling-node convention) the discount is disabled automatically,
+keeping the bound sound.
+
+Submatrix staleness: rebuilding the in-neighbor submatrix of ``Sf`` on every
+expansion is the dominant cost, so it is rebuilt only when ``Sf`` has grown
+materially.  Refinement with a stale structure stays sound because the
+external-mass term multiplies a *cap* covering every node that was unseen at
+build time: such a node is either still unseen (bounded by the current
+unseen bound) or was seen after the build (bounded by its own current upper
+bound); the cap is the max of the two.  Nodes seen after the build keep
+their Stage-I bounds until the next rebuild — looser, never wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.topk.bca import BCAState
+from repro.topk.graphaccess import GraphAccess
+
+REFINE_TOL = 1e-12
+MAX_REFINE_ITERS = 200
+
+
+class FBoundSide:
+    """Bounded F-Rank neighborhood state for one query."""
+
+    def __init__(
+        self,
+        access: GraphAccess,
+        query: int,
+        alpha: float,
+        m: int = 100,
+        bound_style: str = "prop4",
+        refine: str = "fixpoint",
+        heavy_degree: "int | None" = 256,
+    ) -> None:
+        if bound_style not in ("prop4", "gupta"):
+            raise ValueError(f"unknown bound_style {bound_style!r}")
+        if refine not in ("fixpoint", "single", "off"):
+            raise ValueError(f"unknown refine mode {refine!r}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if heavy_degree is not None and heavy_degree < 1:
+            raise ValueError(f"heavy_degree must be >= 1 or None, got {heavy_degree}")
+        self.access = access
+        self.query = query
+        self.alpha = alpha
+        self.m = m
+        self.bound_style = bound_style
+        self.refine_mode = refine
+        #: rows whose in-list exceeds this length are not refined (their
+        #: Stage-I Prop. 4 bounds are kept), avoiding hub-adjacency fetches.
+        self.heavy_degree = heavy_degree
+
+        self.bca = BCAState(access, query, alpha)
+        n = access.n_nodes
+        self.seen = np.zeros(n, dtype=bool)
+        self.seen_list: list[int] = []
+        self.lower = np.zeros(n)
+        self.upper = np.ones(n)
+        self._index = np.full(n, -1, dtype=np.int64)  # node -> position in seen_list
+        self._sub: "sp.csr_matrix | None" = None
+        self._ext: "np.ndarray | None" = None
+        self._frozen: "np.ndarray | None" = None  # rows kept at Stage-I bounds
+        self._built_size = 0  # |Sf| at the last submatrix build
+        #: rebuild when Sf grew by this factor since the last build.
+        self.rebuild_growth = 1.1
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unseen_upper(self) -> float:
+        """The current unseen upper bound (Eq. 19, or Gupta's version)."""
+        mu_max = self.bca.max_residual
+        mu_total = max(self.bca.total_residual, 0.0)
+        raw = self.alpha * mu_max + (1.0 - self.alpha) * mu_total
+        if self.bound_style == "prop4" and not self.access.has_self_loops:
+            return raw / (2.0 - self.alpha)
+        return raw
+
+    @property
+    def exhausted(self) -> bool:
+        """No processable residual remains; bounds have converged to F-Rank."""
+        return self.bca.exhausted
+
+    def expand(self) -> list[int]:
+        """Stage I: expand ``Sf`` by up to ``m`` best-benefit nodes.
+
+        Returns the nodes processed in this expansion.  After processing,
+        bounds are (re-)initialized from Prop. 4 — only ever tightening.
+        """
+        processed = self.bca.expand(self.m)
+        for node in processed:
+            if not self.seen[node]:
+                self.seen[node] = True
+                self._index[node] = len(self.seen_list)
+                self.seen_list.append(node)
+        self._initialize_bounds()
+        return processed
+
+    def _initialize_bounds(self) -> None:
+        """Apply Prop. 4 to every seen node, keeping bounds monotone."""
+        if not self.seen_list:
+            return
+        nodes = np.asarray(self.seen_list)
+        unseen_up = self.unseen_upper
+        self.lower[nodes] = np.maximum(self.lower[nodes], self.bca.rho[nodes])
+        self.upper[nodes] = np.minimum(self.upper[nodes], self.bca.rho[nodes] + unseen_up)
+
+    # ------------------------------------------------------------------ #
+
+    def _build_submatrix(self, include_heavy: bool = False) -> None:
+        """In-neighbor structure of ``Sf``: ``A[i, j] = M[seen_j, seen_i]``.
+
+        ``ext[i]`` collects the total in-probability arriving from nodes
+        unseen *at build time*; the refinement multiplies it by a cap that
+        stays valid as the neighborhood grows (see the module docstring).
+        ``include_heavy=True`` (the finalize path) also fetches hub in-lists
+        so every row participates.
+        """
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        size = len(self.seen_list)
+        ext = np.zeros(size)
+        seen_arr = np.asarray(self.seen_list, dtype=np.int64)
+        in_lengths = self.access.in_degrees(seen_arr)
+        if include_heavy or self.heavy_degree is None:
+            frozen = np.zeros(size, dtype=bool)
+        else:
+            # Heavy rows (hub in-lists) keep their Stage-I bounds; their
+            # values still feed other rows as columns, which is sound.
+            frozen = in_lengths > self.heavy_degree
+        self.access.prefetch(seen_arr[~frozen], out=False, incoming=True)
+        for i, node in enumerate(self.seen_list):
+            if frozen[i]:
+                continue
+            neighbors, probs = self.access.in_edges(node)
+            if neighbors.size == 0:
+                continue
+            pos = self._index[neighbors]
+            seen_mask = pos >= 0
+            if seen_mask.any():
+                rows.append(np.full(int(seen_mask.sum()), i, dtype=np.int64))
+                cols.append(pos[seen_mask])
+                data.append(probs[seen_mask])
+            if (~seen_mask).any():
+                ext[i] = float(probs[~seen_mask].sum())
+        if rows:
+            self._sub = sp.csr_matrix(
+                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(size, size),
+            )
+        else:
+            self._sub = sp.csr_matrix((size, size))
+        self._ext = ext
+        self._frozen = frozen
+        self._built_size = size
+
+    def _maybe_rebuild(self) -> None:
+        size = len(self.seen_list)
+        if self._sub is None or size > self._built_size * self.rebuild_growth:
+            self._build_submatrix()
+
+    def finalize(self) -> None:
+        """Terminal cleanup when the side is exhausted.
+
+        Rebuilds the submatrix so every seen node participates and runs the
+        refinement to its fixed point, guaranteeing the bounds are exact (up
+        to the drained-residual tolerance) on the exhaustion path regardless
+        of the scheme's per-round refine mode.
+        """
+        if not self.seen_list:
+            return
+        self._build_submatrix(include_heavy=True)
+        if self.refine_mode != "off":
+            self.refine(force_fixpoint=True)
+
+    def refine(self, force_fixpoint: bool = False) -> int:
+        """Stage II: iterate Eq. 17–18 over ``Sf`` until the fixed point.
+
+        Returns the number of refinement iterations run (0 when refinement
+        is disabled — the Gupta/G+S schemes).
+        """
+        if self.refine_mode == "off" or not self.seen_list:
+            return 0
+        self._maybe_rebuild()
+        assert self._sub is not None and self._ext is not None
+        size = self._built_size
+        nodes = np.asarray(self.seen_list[:size])
+        low = self.lower[nodes]
+        up = self.upper[nodes]
+        base = np.zeros(size)
+        q_pos = self._index[self.query]
+        if 0 <= q_pos < size:
+            base[q_pos] = self.alpha
+        damp = 1.0 - self.alpha
+        # The ext term models mass from every node unseen at build time;
+        # such a node is now either still unseen (<= current unseen bound)
+        # or seen post-build (<= its current upper bound).
+        post = np.asarray(self.seen_list[size:], dtype=np.int64)
+        post_max = float(self.upper[post].max()) if post.size else 0.0
+        unseen_up = max(self.unseen_upper, post_max)
+        max_iters = (
+            1 if (self.refine_mode == "single" and not force_fixpoint) else MAX_REFINE_ITERS
+        )
+        frozen = self._frozen
+        assert frozen is not None
+        iters = 0
+        for _ in range(max_iters):
+            new_low = np.maximum(low, base + damp * (self._sub @ low))
+            new_up = np.minimum(up, base + damp * (self._sub @ up + self._ext * unseen_up))
+            if frozen.any():
+                # Heavy rows have no structure in the matrix; their Eq. 17-18
+                # updates would be based on an empty in-list and must not
+                # apply.  Stage-I keeps tightening them between refines.
+                new_low[frozen] = low[frozen]
+                new_up[frozen] = up[frozen]
+            delta = max(
+                float(np.max(new_low - low, initial=0.0)),
+                float(np.max(up - new_up, initial=0.0)),
+            )
+            low, up = new_low, new_up
+            iters += 1
+            if delta < REFINE_TOL:
+                break
+        self.lower[nodes] = np.maximum(self.lower[nodes], low)
+        self.upper[nodes] = np.minimum(self.upper[nodes], up)
+        return iters
+
+    # ------------------------------------------------------------------ #
+
+    def seen_nodes(self) -> np.ndarray:
+        """The f-neighborhood ``Sf`` as an array of node ids."""
+        return np.asarray(self.seen_list, dtype=np.int64)

@@ -1,0 +1,403 @@
+"""T-side of 2SBound: border-node expansion with Eq. 22 and Stage-II refinement.
+
+The t-neighborhood ``St`` starts as ``{q}`` with ``t_lower(q) = alpha`` and
+``t_upper(q) = 1``; the unseen upper bound is Eq. 22:
+
+.. math::
+
+    \\hat t(q) = (1 - \\alpha) \\max_{u \\in \\partial(S_t)} \\hat t(q, u)
+
+where a *border node* has at least one in-neighbor outside ``St`` — any walk
+from an unseen node to the query must first enter ``St`` through a border
+node, paying at least one step's ``(1 - alpha)`` damping.
+
+Stage I expansion picks the ``m`` border nodes with the largest upper bound
+and brings all their in-neighbors into ``St``, removing them from the border
+and thereby driving the unseen bound down.  Stage II refines per-node bounds
+over out-neighbors (Eq. 17–18, T-Rank instantiation) and re-tightens the
+unseen bound after every sweep.
+
+The weaker scheme reproducing Sarkar et al. for Fig. 11(a) replaces the
+fixed-point Stage II with a single sweep per expansion (``refine="single"``).
+
+Two locality refinements keep the active set small on hub-heavy graphs
+(without them, one popular venue or term entering ``St`` would drag its
+entire adjacency into the active processor's memory — the paper's reported
+active-set sizes imply its implementation avoided exactly that):
+
+1. **Border status without in-lists.**  A node's border status needs only
+   its in-degree (cheap metadata) and the count of its in-neighbors already
+   in ``St``, which is maintained incrementally from the out-lists of nodes
+   entering ``St``.  Full in-neighbor lists are fetched only for border
+   nodes actually chosen for expansion.
+2. **Heavy nodes.**  Nodes whose out-degree exceeds ``heavy_degree`` enter
+   ``St`` *lazily*: their out-lists are not fetched, their bounds stay at
+   the Stage-I initialization, and their arcs are absent from the
+   incremental counts (which over-counts others' unseen in-neighbors — a
+   border *superset*, so Eq. 22 stays a valid upper bound).  Stage II
+   excludes their rows and caps the mass flowing to them by the largest
+   heavy upper bound.  :meth:`finalize` lifts the laziness so the
+   exhaustion path still converges to exact values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.topk.fbound import MAX_REFINE_ITERS, REFINE_TOL
+from repro.topk.graphaccess import GraphAccess
+from repro.utils.validation import check_in_range, check_node_id
+
+
+class TBoundSide:
+    """Bounded T-Rank neighborhood state for one query."""
+
+    def __init__(
+        self,
+        access: GraphAccess,
+        query: int,
+        alpha: float,
+        m: int = 5,
+        refine: str = "fixpoint",
+        heavy_degree: "int | None" = 256,
+    ) -> None:
+        if refine not in ("fixpoint", "single", "off"):
+            raise ValueError(f"unknown refine mode {refine!r}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if heavy_degree is not None and heavy_degree < 1:
+            raise ValueError(f"heavy_degree must be >= 1 or None, got {heavy_degree}")
+        self.access = access
+        self.query = check_node_id(query, access.n_nodes, "query")
+        self.alpha = check_in_range(
+            alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+        )
+        self.m = m
+        self.refine_mode = refine
+        self.heavy_degree = heavy_degree
+
+        n = access.n_nodes
+        self.seen = np.zeros(n, dtype=bool)
+        self.seen_list: list[int] = []
+        self._index = np.full(n, -1, dtype=np.int64)
+        self.lower = np.zeros(n)
+        self.upper = np.ones(n)
+        #: lazily-included high-degree nodes (see module docstring)
+        self._is_heavy = np.zeros(n, dtype=bool)
+        #: in-list length per seen node (metadata, fetched at add time)
+        self._in_degree: dict[int, int] = {}
+        #: arcs into each node from (light) St members, maintained
+        #: incrementally from out-lists as nodes enter St.
+        self._seen_in_count: dict[int, int] = {}
+        #: in-neighbors still outside St, per seen node (may over-count for
+        #: nodes with heavy in-neighbors — a sound border superset).
+        self._unseen_in_count: dict[int, int] = {}
+        self._border: set[int] = set()
+
+        self._sub: "sp.csr_matrix | None" = None
+        self._ext_unseen: "np.ndarray | None" = None
+        self._ext_heavy: "np.ndarray | None" = None
+        self._matrix_nodes: "np.ndarray | None" = None
+        self._matrix_pos = np.full(n, -1, dtype=np.int64)
+        self._built_size = 0  # |St| at the last build (for growth trigger)
+        #: rebuild when St grew by this factor since the last build.
+        self.rebuild_growth = 1.1
+
+        self.unseen_upper = 1.0 - self.alpha
+        out_deg = int(access.out_degrees(np.asarray([self.query]))[0])
+        in_deg = int(access.in_degrees(np.asarray([self.query]))[0])
+        self._add_node(self.query, in_deg, out_deg, lower=self.alpha, upper=1.0)
+
+    # ------------------------------------------------------------------ #
+
+    def _is_heavy_degree(self, out_degree: int) -> bool:
+        return self.heavy_degree is not None and out_degree > self.heavy_degree
+
+    def _add_node(
+        self,
+        node: int,
+        in_degree: int,
+        out_degree: int,
+        lower: float = 0.0,
+        upper: "float | None" = None,
+    ) -> None:
+        """Bring ``node`` into ``St``, computing its border status from
+        metadata and updating the incremental in-counts of its out-targets."""
+        if self.seen[node]:
+            return
+        self.seen[node] = True
+        self._index[node] = len(self.seen_list)
+        self.seen_list.append(node)
+        self.lower[node] = lower
+        self.upper[node] = self.unseen_upper if upper is None else upper
+        self._in_degree[node] = in_degree
+
+        unseen_in = max(in_degree - self._seen_in_count.get(node, 0), 0)
+        self._unseen_in_count[node] = unseen_in
+        if unseen_in > 0:
+            self._border.add(node)
+
+        if self._is_heavy_degree(out_degree):
+            self._is_heavy[node] = True
+            return
+
+        out_neighbors, _ = self.access.out_edges(node)
+        for y in out_neighbors.tolist():
+            y = int(y)
+            self._seen_in_count[y] = self._seen_in_count.get(y, 0) + 1
+            if self.seen[y] and y != node:
+                remaining = self._unseen_in_count.get(y, 0)
+                if remaining > 0:
+                    self._unseen_in_count[y] = remaining - 1
+                    if remaining - 1 == 0:
+                        self._border.discard(y)
+
+    @property
+    def border(self) -> set[int]:
+        """The current border nodes ``∂(St)`` (a superset is possible when
+        heavy in-neighbors hide arcs — still sound for Eq. 22)."""
+        return self._border
+
+    @property
+    def exhausted(self) -> bool:
+        """``St`` is closed under in-neighbors: the unseen bound is zero."""
+        return not self._border
+
+    def _recompute_unseen_upper(self) -> None:
+        if self._border:
+            best = max(self.upper[node] for node in self._border)
+            self.unseen_upper = min(self.unseen_upper, (1.0 - self.alpha) * float(best))
+        else:
+            self.unseen_upper = 0.0
+
+    def _promote(self, node: int) -> None:
+        """Lift a heavy node into the refinable (light) set.
+
+        Fetches only its out-list — enough for its Eq. 17–18 row — and
+        replays the incremental in-count updates its lazy entry skipped.
+        Promotion happens when a heavy node's static bound becomes the
+        expansion bottleneck: refining it is far cheaper than absorbing its
+        whole in-neighborhood.
+        """
+        if not self._is_heavy[node]:
+            return
+        self._is_heavy[node] = False
+        out_neighbors, _ = self.access.out_edges(node)
+        for y in out_neighbors.tolist():
+            y = int(y)
+            self._seen_in_count[y] = self._seen_in_count.get(y, 0) + 1
+            if self.seen[y] and y != node:
+                remaining = self._unseen_in_count.get(y, 0)
+                if remaining > 0:
+                    self._unseen_in_count[y] = remaining - 1
+                    if remaining - 1 == 0:
+                        self._border.discard(y)
+        self._sub = None  # structure changed: force a rebuild
+
+    def expand(self) -> list[int]:
+        """Stage I: absorb the in-neighbors of the ``m`` best border nodes.
+
+        Returns the border nodes whose in-neighborhoods were absorbed.
+        New nodes enter with lower bound 0 and the *previous* unseen upper
+        bound, as the paper prescribes.  Ties on the upper bound break
+        toward the cheapest expansion (fewest in-neighbors), mirroring the
+        f-side benefit heuristic.
+
+        Heavy nodes selected by the max-upper rule are *promoted* rather
+        than expanded on first selection (see :meth:`_promote`); once
+        refinable, they are expanded only if they remain the bottleneck.
+        """
+        if not self._border:
+            return []
+        chosen = sorted(
+            self._border,
+            key=lambda u: (-self.upper[u], self._in_degree.get(u, 0), u),
+        )[: self.m]
+        promoted = [u for u in chosen if self._is_heavy[u]]
+        if promoted:
+            self.access.prefetch(np.asarray(promoted, dtype=np.int64), out=True)
+            for u in promoted:
+                self._promote(u)
+            chosen = [u for u in chosen if u not in set(promoted)]
+            if not chosen:
+                self._recompute_unseen_upper()
+                return promoted
+        self.access.prefetch(np.asarray(chosen, dtype=np.int64), out=False, incoming=True)
+        incoming = [self.access.in_edges(u)[0] for u in chosen]
+        new_nodes = np.unique(np.concatenate(incoming)) if incoming else np.empty(0, np.int64)
+        new_nodes = new_nodes[~self.seen[new_nodes]] if new_nodes.size else new_nodes
+        if new_nodes.size:
+            out_degs = self.access.out_degrees(new_nodes)
+            in_degs = self.access.in_degrees(new_nodes)
+            light = new_nodes[~np.asarray([self._is_heavy_degree(int(d)) for d in out_degs])]
+            if light.size:
+                self.access.prefetch(light, out=True, incoming=False)
+            degree_of = {
+                int(v): (int(i), int(o))
+                for v, i, o in zip(new_nodes.tolist(), in_degs.tolist(), out_degs.tolist())
+            }
+            for u, in_neighbors in zip(chosen, incoming):
+                for w in in_neighbors.tolist():
+                    w = int(w)
+                    if w in degree_of:
+                        ind, outd = degree_of[w]
+                        self._add_node(w, ind, outd)
+        for u in chosen:
+            self._unseen_in_count[u] = 0
+            self._border.discard(u)
+        self._recompute_unseen_upper()
+        return promoted + chosen if promoted else chosen
+
+    # ------------------------------------------------------------------ #
+
+    def _build_submatrix(self, include_heavy: bool = False) -> None:
+        """Out-neighbor structure of the light part of ``St``.
+
+        ``B[i, j] = M[node_i, node_j]`` over *light* seen nodes;
+        ``ext_unseen[i]`` collects mass to nodes unseen at build time and
+        ``ext_heavy[i]`` mass to heavy seen nodes (whose bounds are static).
+        ``include_heavy=True`` (the finalize path) fetches heavy out-lists
+        and folds everything into the matrix.
+        """
+        if include_heavy:
+            heavies = np.flatnonzero(self._is_heavy & self.seen)
+            if heavies.size:
+                self.access.prefetch(heavies, out=True, incoming=False)
+            self._is_heavy[:] = False
+        matrix_nodes = [v for v in self.seen_list if not self._is_heavy[v]]
+        self._matrix_pos[:] = -1
+        for pos, v in enumerate(matrix_nodes):
+            self._matrix_pos[v] = pos
+        size = len(matrix_nodes)
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        ext_unseen = np.zeros(size)
+        ext_heavy = np.zeros(size)
+        for i, node in enumerate(matrix_nodes):
+            neighbors, probs = self.access.out_edges(node)
+            if neighbors.size == 0:
+                continue
+            pos = self._matrix_pos[neighbors]
+            in_matrix = pos >= 0
+            if in_matrix.any():
+                rows.append(np.full(int(in_matrix.sum()), i, dtype=np.int64))
+                cols.append(pos[in_matrix])
+                data.append(probs[in_matrix])
+            rest = ~in_matrix
+            if rest.any():
+                rest_nodes = neighbors[rest]
+                heavy_mask = self._is_heavy[rest_nodes] & self.seen[rest_nodes]
+                ext_heavy[i] = float(probs[rest][heavy_mask].sum())
+                ext_unseen[i] = float(probs[rest][~heavy_mask].sum())
+        if rows:
+            self._sub = sp.csr_matrix(
+                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(size, size),
+            )
+        else:
+            self._sub = sp.csr_matrix((size, size))
+        self._ext_unseen = ext_unseen
+        self._ext_heavy = ext_heavy
+        self._matrix_nodes = np.asarray(matrix_nodes, dtype=np.int64)
+        self._built_size = len(self.seen_list)
+
+    def _maybe_rebuild(self) -> None:
+        if self._sub is None or len(self.seen_list) > self._built_size * self.rebuild_growth:
+            self._build_submatrix()
+
+    def finalize(self) -> None:
+        """Terminal cleanup when the side is exhausted (see FBoundSide).
+
+        Lifts heavy-node laziness and refines to the fixed point so the
+        exhaustion path yields exact bounds regardless of scheme.
+        """
+        if not self.seen_list:
+            return
+        self._build_submatrix(include_heavy=True)
+        self.refine(force_fixpoint=True)
+
+    def refine(self, force_fixpoint: bool = False) -> int:
+        """Stage II: iterate Eq. 17–18 (T-Rank form) and re-tighten Eq. 22.
+
+        Returns the number of sweeps run.
+        """
+        if (self.refine_mode == "off" and not force_fixpoint) or not self.seen_list:
+            return 0
+        self._maybe_rebuild()
+        assert self._sub is not None
+        assert self._ext_unseen is not None and self._ext_heavy is not None
+        assert self._matrix_nodes is not None
+        nodes = self._matrix_nodes
+        size = nodes.shape[0]
+        if size == 0:
+            return 0
+        low = self.lower[nodes]
+        up = self.upper[nodes]
+        base = np.zeros(size)
+        q_pos = self._matrix_pos[self.query]
+        if q_pos >= 0:
+            base[q_pos] = self.alpha
+        damp = 1.0 - self.alpha
+
+        # Caps for mass leaving the matrix: build-time-unseen nodes are now
+        # either still unseen (<= current unseen bound) or seen post-build
+        # (<= their static upper); heavy nodes keep their static uppers.
+        built_set = set(nodes.tolist())
+        post = np.asarray(
+            [v for v in self.seen_list if v not in built_set and not self._is_heavy[v]],
+            dtype=np.int64,
+        )
+        post_max = float(self.upper[post].max()) if post.size else 0.0
+        heavy_nodes = np.flatnonzero(self._is_heavy & self.seen)
+        heavy_cap = float(self.upper[heavy_nodes].max()) if heavy_nodes.size else 0.0
+
+        border_pos = np.asarray(
+            sorted(
+                self._matrix_pos[u] for u in self._border if self._matrix_pos[u] >= 0
+            ),
+            dtype=np.int64,
+        )
+        border_static = [u for u in self._border if self._matrix_pos[u] < 0]
+        border_static_max = (
+            float(max(self.upper[u] for u in border_static)) if border_static else 0.0
+        )
+
+        max_iters = (
+            1 if (self.refine_mode == "single" and not force_fixpoint) else MAX_REFINE_ITERS
+        )
+        iters = 0
+        for _ in range(max_iters):
+            cap = max(self.unseen_upper, post_max)
+            new_low = np.maximum(low, base + damp * (self._sub @ low))
+            new_up = np.minimum(
+                up,
+                base
+                + damp
+                * (self._sub @ up + self._ext_unseen * cap + self._ext_heavy * heavy_cap),
+            )
+            delta = max(
+                float(np.max(new_low - low, initial=0.0)),
+                float(np.max(up - new_up, initial=0.0)),
+            )
+            low, up = new_low, new_up
+            iters += 1
+            # Eq. 22 re-tightening inside the sweep keeps the feedback loop:
+            # shrinking border uppers shrink the unseen bound, which shrinks
+            # the external mass of the next sweep.
+            in_matrix_max = float(up[border_pos].max()) if border_pos.size else 0.0
+            self.unseen_upper = min(
+                self.unseen_upper,
+                (1.0 - self.alpha) * max(in_matrix_max, border_static_max),
+            )
+            if delta < REFINE_TOL:
+                break
+        self.lower[nodes] = np.maximum(self.lower[nodes], low)
+        self.upper[nodes] = np.minimum(self.upper[nodes], up)
+        self._recompute_unseen_upper()
+        return iters
+
+    def seen_nodes(self) -> np.ndarray:
+        """The t-neighborhood ``St`` as an array of node ids."""
+        return np.asarray(self.seen_list, dtype=np.int64)

@@ -1,0 +1,80 @@
+"""An addressable max-heap keyed by item.
+
+Used by the top-K machinery: BCA expansion repeatedly extracts the node with
+the largest *benefit* (Sect. V-A of the paper) and border-node expansion the
+node with the largest upper bound.  Both need priorities that change over
+time, so the heap supports ``push`` (insert or update) and lazy deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, Iterator
+
+
+class AddressableMaxHeap:
+    """Max-heap with O(log n) insert/update/pop and O(1) priority lookup.
+
+    Updates are handled with the standard lazy-invalidation trick: stale
+    entries stay in the underlying list and are discarded on pop.
+    """
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: list[list] = []
+        self._entries: dict[Hashable, list] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def priority(self, item: Hashable) -> float:
+        """Current priority of ``item`` (raises ``KeyError`` if absent)."""
+        return -self._entries[item][0]
+
+    def push(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` or update its priority."""
+        if item in self._entries:
+            self.remove(item)
+        entry = [-float(priority), next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item`` (raises ``KeyError`` if absent)."""
+        entry = self._entries.pop(item)
+        entry[2] = self._REMOVED
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Pop and return ``(item, priority)`` with the largest priority."""
+        while self._heap:
+            neg_priority, _, item = heapq.heappop(self._heap)
+            if item is not self._REMOVED:
+                del self._entries[item]
+                return item, -neg_priority
+        raise IndexError("pop from an empty heap")
+
+    def peek(self) -> tuple[Hashable, float]:
+        """Return ``(item, priority)`` with the largest priority, non-destructively."""
+        while self._heap:
+            neg_priority, _, item = self._heap[0]
+            if item is self._REMOVED:
+                heapq.heappop(self._heap)
+                continue
+            return item, -neg_priority
+        raise IndexError("peek at an empty heap")
+
+    def pop_many(self, count: int) -> list[tuple[Hashable, float]]:
+        """Pop up to ``count`` items in descending priority order."""
+        out: list[tuple[Hashable, float]] = []
+        while len(out) < count and self._entries:
+            out.append(self.pop())
+        return out

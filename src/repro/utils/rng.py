@@ -1,0 +1,40 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  ``ensure_rng`` normalizes all
+three into a ``Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    - ``None`` gives a fresh, OS-seeded generator;
+    - an integer gives a deterministic generator;
+    - an existing generator is passed through unchanged.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, numbers.Integral):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}")
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Useful to give each query / worker / dataset section its own stream so
+    that changing the number of samples in one place does not perturb the
+    randomness used elsewhere.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return ensure_rng(seed).spawn(count)

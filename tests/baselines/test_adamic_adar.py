@@ -1,0 +1,61 @@
+"""Tests for AdamicAdar."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdamicAdarMeasure, adamic_adar_scores
+from repro.graph import graph_from_edges
+
+
+class TestAdamicAdar:
+    def test_hand_computed_example(self):
+        # 0 - 2 - 1 and 0 - 3 - 1 (undirected); deg(2)=deg(3)=2
+        g = graph_from_edges(4, [(0, 2), (2, 1), (0, 3), (3, 1)], directed=False)
+        scores = adamic_adar_scores(g, 0)
+        expected = 2.0 / np.log(2.0)
+        assert scores[1] == pytest.approx(expected)
+
+    def test_rare_neighbor_weighs_more(self):
+        # common neighbor 2 has degree 2; common neighbor 3 has degree 4
+        g = graph_from_edges(
+            6,
+            [(0, 2), (2, 1), (0, 3), (3, 1), (3, 4), (3, 5)],
+            directed=False,
+        )
+        scores = adamic_adar_scores(g, 0)
+        via_2_only = 1.0 / np.log(2.0)
+        via_3_only = 1.0 / np.log(4.0)
+        assert scores[1] == pytest.approx(via_2_only + via_3_only)
+        assert via_2_only > via_3_only
+
+    def test_zero_beyond_two_hops(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)], directed=False)
+        scores = adamic_adar_scores(g, 0)
+        assert scores[3] == 0.0
+
+    def test_directed_edges_treated_as_neighbors(self):
+        # 0 -> 2 and 1 -> 2: common undirected neighbor 2 (degree 2)
+        g = graph_from_edges(3, [(0, 2), (1, 2)])
+        scores = adamic_adar_scores(g, 0)
+        assert scores[1] == pytest.approx(1.0 / np.log(2.0))
+
+    def test_multi_node_query(self):
+        g = graph_from_edges(4, [(0, 2), (2, 1), (3, 2)], directed=False)
+        combined = adamic_adar_scores(g, [0, 1])
+        separate = 0.5 * (adamic_adar_scores(g, 0) + adamic_adar_scores(g, 1))
+        assert np.allclose(combined, separate)
+
+    def test_measure_wrapper(self, toy_graph):
+        m = AdamicAdarMeasure()
+        scores = m.scores(toy_graph, 0)
+        assert scores.shape == (toy_graph.n_nodes,)
+        assert np.all(scores >= 0)
+
+    def test_toy_graph_venue_signal(self, toy_graph):
+        """Terms and venues share paper neighbors on the toy graph."""
+        q = toy_graph.node_by_label("t1")
+        scores = adamic_adar_scores(toy_graph, q)
+        v1 = toy_graph.node_by_label("v1")
+        v3 = toy_graph.node_by_label("v3")
+        # v1 shares papers p1, p2 with t1; v3 shares p5 only.
+        assert scores[v1] > scores[v3] > 0

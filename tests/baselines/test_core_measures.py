@@ -1,0 +1,60 @@
+"""Tests for the paper-family measure wrappers."""
+
+import numpy as np
+
+from repro.baselines import (
+    FRankMeasure,
+    RoundTripRankMeasure,
+    RoundTripRankPlusMeasure,
+    TRankMeasure,
+)
+from repro.core import frank_vector, roundtriprank_plus, trank_vector
+
+
+class TestWrappersMatchCore:
+    def test_frank(self, toy_graph):
+        assert np.allclose(
+            FRankMeasure().scores(toy_graph, 0), frank_vector(toy_graph, 0)
+        )
+
+    def test_trank(self, toy_graph):
+        assert np.allclose(
+            TRankMeasure().scores(toy_graph, 0), trank_vector(toy_graph, 0)
+        )
+
+    def test_roundtrip(self, toy_graph):
+        scores = RoundTripRankMeasure().scores(toy_graph, 0)
+        f = frank_vector(toy_graph, 0)
+        t = trank_vector(toy_graph, 0)
+        assert np.allclose(scores, f * t)
+
+    def test_plus(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        m = RoundTripRankPlusMeasure(beta=0.3)
+        assert np.allclose(
+            m.scores(toy_graph, q), roundtriprank_plus(toy_graph, q, beta=0.3)
+        )
+
+
+class TestSharedFTPath:
+    def test_scores_from_ft_consistent(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        f = frank_vector(toy_graph, q)
+        t = trank_vector(toy_graph, q)
+        for measure in (
+            FRankMeasure(),
+            TRankMeasure(),
+            RoundTripRankMeasure(),
+            RoundTripRankPlusMeasure(beta=0.7),
+        ):
+            assert measure.uses_ft
+            assert np.allclose(
+                measure.scores_from_ft(f, t), measure.scores(toy_graph, q)
+            )
+
+    def test_with_beta_does_not_mutate(self):
+        m = RoundTripRankPlusMeasure(beta=0.5)
+        m2 = m.with_beta(0.8)
+        assert m.beta == 0.5
+        assert m2.beta == 0.8
+        assert type(m2) is RoundTripRankPlusMeasure

@@ -1,0 +1,81 @@
+"""Tests for the ObjectRank family and ObjSqrtInv."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ObjSqrtInvMeasure,
+    ObjSqrtInvPlusMeasure,
+    global_inverse_objectrank,
+    global_objectrank,
+    inverse_objectrank,
+    objectrank,
+    objsqrtinv_scores,
+)
+from repro.core import frank_vector
+from repro.graph import graph_from_edges
+
+
+class TestObjectRank:
+    def test_query_objectrank_is_frank(self, toy_graph):
+        assert np.array_equal(
+            objectrank(toy_graph, 0, d=0.25), frank_vector(toy_graph, 0, 0.25)
+        )
+
+    def test_global_sums_to_one(self, toy_graph):
+        g = global_objectrank(toy_graph)
+        assert g.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_global_favors_hubs(self, toy_graph):
+        g = global_objectrank(toy_graph, d=0.25)
+        t1 = toy_graph.node_by_label("t1")  # degree 5 hub
+        v3 = toy_graph.node_by_label("v3")  # degree 1 leaf
+        assert g[t1] > g[v3]
+
+    def test_inverse_is_reversed_graph_ppr(self, toy_graph):
+        inv = inverse_objectrank(toy_graph, 0, d=0.25)
+        expected = frank_vector(toy_graph.reverse(), 0, 0.25)
+        assert np.array_equal(inv, expected)
+
+    def test_global_inverse_on_asymmetric_graph(self):
+        # a directed chain with a return edge: in- and out-degree profiles
+        # differ, so PageRank and reversed PageRank must differ.
+        g = graph_from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)])
+        fwd = global_objectrank(g)
+        inv = global_inverse_objectrank(g)
+        assert not np.allclose(fwd, inv)
+
+    def test_d_validation(self, toy_graph):
+        with pytest.raises(ValueError):
+            global_objectrank(toy_graph, d=0.0)
+
+
+class TestObjSqrtInv:
+    def test_formula(self, toy_graph):
+        q = 0
+        expected = objectrank(toy_graph, q) * np.sqrt(inverse_objectrank(toy_graph, q))
+        assert np.allclose(objsqrtinv_scores(toy_graph, q), expected)
+
+    def test_measure_wrapper(self, toy_graph):
+        m = ObjSqrtInvMeasure()
+        assert np.allclose(m.scores(toy_graph, 0), objsqrtinv_scores(toy_graph, 0))
+
+    def test_plus_extremes(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        lo = ObjSqrtInvPlusMeasure(beta=0.0).scores(toy_graph, q)
+        hi = ObjSqrtInvPlusMeasure(beta=1.0).scores(toy_graph, q)
+        assert np.array_equal(lo, objectrank(toy_graph, q))
+        assert np.array_equal(hi, inverse_objectrank(toy_graph, q))
+
+    def test_plus_interior_formula(self, toy_graph):
+        q = 0
+        m = ObjSqrtInvPlusMeasure(beta=0.25)
+        expected = objectrank(toy_graph, q) ** 0.75 * inverse_objectrank(toy_graph, q) ** 0.25
+        assert np.allclose(m.scores(toy_graph, q), expected)
+
+    def test_original_is_beta_one_third_rank_equivalent(self, toy_graph):
+        """OR * sqrt(IOR) ranks identically to OR^(2/3) * IOR^(1/3)."""
+        q = toy_graph.node_by_label("t1")
+        original = objsqrtinv_scores(toy_graph, q)
+        plus = ObjSqrtInvPlusMeasure(beta=1.0 / 3.0).scores(toy_graph, q)
+        assert np.array_equal(np.argsort(-original), np.argsort(-plus))

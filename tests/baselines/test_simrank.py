@@ -1,0 +1,94 @@
+"""Tests for SimRank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimRankMeasure, simrank_matrix, simrank_single_source
+from repro.graph import graph_from_edges
+
+
+@pytest.fixture()
+def univ_graph():
+    """The classic Jeh & Widom univ/profA/profB/studentA/studentB example."""
+    # 0=Univ, 1=ProfA, 2=ProfB, 3=StudentA, 4=StudentB
+    return graph_from_edges(
+        5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 0), (4, 0)], directed=True
+    )
+
+
+class TestSimRankMatrix:
+    def test_diagonal_is_one(self, univ_graph):
+        s = simrank_matrix(univ_graph)
+        assert np.allclose(np.diag(s), 1.0)
+
+    def test_symmetric(self, univ_graph):
+        s = simrank_matrix(univ_graph)
+        assert np.allclose(s, s.T)
+
+    def test_values_in_unit_interval(self, univ_graph):
+        s = simrank_matrix(univ_graph)
+        assert np.all(s >= 0) and np.all(s <= 1.0 + 1e-12)
+
+    def test_fixed_point_equation(self, univ_graph):
+        """Converged S satisfies s(a,b) = C/(|In(a)||In(b)|) sum s(i,j)."""
+        c = 0.85
+        s = simrank_matrix(univ_graph, c=c, max_iter=100, tol=1e-12)
+        g = univ_graph
+        for a in range(5):
+            for b in range(5):
+                if a == b:
+                    continue
+                in_a = g.in_neighbors(a)
+                in_b = g.in_neighbors(b)
+                if in_a.size == 0 or in_b.size == 0:
+                    assert s[a, b] == 0.0
+                    continue
+                expected = c / (in_a.size * in_b.size) * sum(
+                    s[i, j] for i in in_a for j in in_b
+                )
+                assert s[a, b] == pytest.approx(expected, abs=1e-9)
+
+    def test_profs_similar_via_university(self, univ_graph):
+        s = simrank_matrix(univ_graph, max_iter=50)
+        # ProfA and ProfB share the in-neighbor Univ; positive similarity.
+        assert s[1, 2] > 0
+        # students are similar through their professors
+        assert s[3, 4] > 0
+
+    def test_node_limit_guard(self):
+        import scipy.sparse as sp
+
+        from repro.graph import DiGraph
+
+        g = DiGraph(sp.identity(20001, format="csr"))
+        with pytest.raises(ValueError, match="too large"):
+            simrank_matrix(g)
+
+
+class TestSingleSourceMC:
+    def test_agrees_with_dense(self, univ_graph):
+        exact = simrank_matrix(univ_graph, max_iter=60)
+        mc = simrank_single_source(univ_graph, 1, n_samples=4000, horizon=12, seed=1)
+        assert np.abs(mc - exact[1]).max() < 0.05
+
+    def test_self_similarity_one(self, univ_graph):
+        mc = simrank_single_source(univ_graph, 2, n_samples=10, seed=0)
+        assert mc[2] == pytest.approx(1.0)
+
+    def test_validation(self, univ_graph):
+        with pytest.raises(ValueError):
+            simrank_single_source(univ_graph, 0, c=1.5)
+
+
+class TestSimRankMeasure:
+    def test_scores_match_matrix_row(self, univ_graph):
+        m = SimRankMeasure(max_iter=30)
+        scores = m.scores(univ_graph, 1)
+        s = simrank_matrix(univ_graph, max_iter=30)
+        assert np.allclose(scores, s[1])
+
+    def test_multi_node_query_averages(self, univ_graph):
+        m = SimRankMeasure(max_iter=30)
+        combined = m.scores(univ_graph, [1, 2])
+        s = simrank_matrix(univ_graph, max_iter=30)
+        assert np.allclose(combined, 0.5 * (s[1] + s[2]))

@@ -1,0 +1,109 @@
+"""Tests for truncated commute time."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    TCommuteMeasure,
+    TCommutePlusMeasure,
+    hitting_time_from_exact,
+    hitting_time_from_sampled,
+    hitting_time_to,
+    truncated_commute_time,
+)
+from repro.graph import graph_from_edges
+
+
+@pytest.fixture()
+def cycle():
+    return graph_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestHittingTimeTo:
+    def test_self_is_zero(self, cycle):
+        assert hitting_time_to(cycle, 0)[0] == 0.0
+
+    def test_deterministic_cycle_values(self, cycle):
+        # deterministic walk: node v hits 0 in exactly (4 - v) % 4 steps
+        h = hitting_time_to(cycle, 0, horizon=10)
+        assert h.tolist() == [0.0, 3.0, 2.0, 1.0]
+
+    def test_bounded_by_horizon(self, toy_graph):
+        h = hitting_time_to(toy_graph, 0, horizon=7)
+        assert np.all(h <= 7.0) and np.all(h >= 0.0)
+
+    def test_unreachable_costs_full_horizon(self):
+        g = graph_from_edges(3, [(0, 1), (1, 0), (2, 0)])
+        h = hitting_time_to(g, 2, horizon=5)
+        # nodes 0,1 can never reach 2
+        assert h[0] == 5.0 and h[1] == 5.0
+
+    def test_two_node_expected_value(self):
+        # 0 <-> 1: from 1, hit 0 in exactly 1 step
+        g = graph_from_edges(2, [(0, 1)], directed=False)
+        h = hitting_time_to(g, 0, horizon=10)
+        assert h[1] == pytest.approx(1.0)
+
+    def test_validation(self, cycle):
+        with pytest.raises(ValueError):
+            hitting_time_to(cycle, 0, horizon=0)
+
+
+class TestHittingTimeFrom:
+    def test_exact_matches_per_target_dp(self, toy_graph):
+        h = hitting_time_from_exact(toy_graph, 0, horizon=6)
+        for v in (0, 3, 9):
+            assert h[v] == hitting_time_to(toy_graph, v, horizon=6)[0]
+
+    def test_sampled_close_to_exact(self, toy_graph):
+        exact = hitting_time_from_exact(toy_graph, 0, horizon=8)
+        sampled = hitting_time_from_sampled(
+            toy_graph, 0, horizon=8, n_walks=3000, seed=3
+        )
+        assert np.abs(sampled - exact).max() < 0.35
+
+    def test_sampled_source_zero(self, toy_graph):
+        sampled = hitting_time_from_sampled(toy_graph, 4, horizon=5, n_walks=10, seed=0)
+        assert sampled[4] == 0.0
+
+    def test_validation(self, toy_graph):
+        with pytest.raises(ValueError):
+            hitting_time_from_sampled(toy_graph, 0, horizon=5, n_walks=0)
+
+
+class TestCommute:
+    def test_symmetrization(self, cycle):
+        c = truncated_commute_time(cycle, 0, horizon=10, exact=True)
+        h_to = hitting_time_to(cycle, 0, horizon=10)
+        h_from = hitting_time_from_exact(cycle, 0, horizon=10)
+        assert np.allclose(c, h_to + h_from)
+
+    def test_self_commute_zero(self, cycle):
+        c = truncated_commute_time(cycle, 0, horizon=10, exact=True)
+        assert c[0] == 0.0
+
+
+class TestMeasures:
+    def test_tcommute_ranks_close_nodes_high(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        m = TCommuteMeasure(exact=True)
+        scores = m.scores(toy_graph, q)
+        p1 = toy_graph.node_by_label("p1")  # direct neighbor
+        t2 = toy_graph.node_by_label("t2")  # far node
+        assert scores[p1] > scores[t2]
+        assert scores.argmax() == q  # commute 0 with itself
+
+    def test_plus_beta_extremes(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        h_to = hitting_time_to(toy_graph, q, 10)
+        h_from = hitting_time_from_exact(toy_graph, q, 10)
+        lo = TCommutePlusMeasure(beta=0.0, exact=True).scores(toy_graph, q)
+        hi = TCommutePlusMeasure(beta=1.0, exact=True).scores(toy_graph, q)
+        assert np.allclose(lo, -h_from)
+        assert np.allclose(hi, -h_to)
+
+    def test_with_beta_returns_copy(self):
+        m = TCommutePlusMeasure(beta=0.5)
+        m2 = m.with_beta(0.2)
+        assert m.beta == 0.5 and m2.beta == 0.2
+        assert m2 is not m

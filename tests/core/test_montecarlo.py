@@ -1,0 +1,71 @@
+"""Tests for the Monte Carlo walk engine (validates Defs. 1–2 directly)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_roundtrip_mc,
+    roundtriprank,
+    sample_geometric_length,
+    walk_steps,
+)
+from repro.graph import graph_from_edges
+from repro.utils.rng import ensure_rng
+
+
+class TestGeometricLength:
+    def test_distribution(self):
+        rng = ensure_rng(3)
+        alpha = 0.25
+        samples = [sample_geometric_length(alpha, rng) for _ in range(20000)]
+        samples = np.asarray(samples)
+        assert samples.min() >= 0
+        # p(L = 0) should be alpha
+        assert np.mean(samples == 0) == pytest.approx(alpha, abs=0.02)
+        # mean of Geo(alpha) starting at 0 is (1-alpha)/alpha = 3
+        assert samples.mean() == pytest.approx(3.0, abs=0.15)
+
+
+class TestWalkSteps:
+    def test_path_length_and_start(self, toy_graph):
+        rng = ensure_rng(0)
+        path = walk_steps(toy_graph, 0, 5, rng)
+        assert len(path) == 6
+        assert path[0] == 0
+
+    def test_steps_follow_edges(self, toy_graph):
+        rng = ensure_rng(1)
+        path = walk_steps(toy_graph, 0, 10, rng)
+        for u, v in zip(path, path[1:]):
+            neighbors, _ = toy_graph.out_edges(u)
+            assert v in neighbors
+
+    def test_deterministic_on_line(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        path = walk_steps(g, 0, 3, ensure_rng(0))
+        assert path == [0, 1, 2, 0]
+
+
+class TestRoundTripMC:
+    """Definition 2 simulated directly agrees with the f*t decomposition."""
+
+    def test_toy_graph_agreement(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        exact = roundtriprank(toy_graph, q, alpha=0.25)
+        mc, completed = estimate_roundtrip_mc(
+            toy_graph, q, alpha=0.25, n_samples=60000, seed=5
+        )
+        assert completed > 5000  # plenty of accepted round trips
+        assert mc.sum() == pytest.approx(1.0)
+        assert np.abs(mc - exact).max() < 0.02
+
+    def test_two_node_graph(self):
+        g = graph_from_edges(2, [(0, 1)], directed=False)
+        exact = roundtriprank(g, 0, alpha=0.3)
+        mc, completed = estimate_roundtrip_mc(g, 0, alpha=0.3, n_samples=30000, seed=2)
+        assert completed > 1000
+        assert np.abs(mc - exact).max() < 0.02
+
+    def test_validation(self, toy_graph):
+        with pytest.raises(ValueError):
+            estimate_roundtrip_mc(toy_graph, 99)

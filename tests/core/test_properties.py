@@ -1,0 +1,89 @@
+"""Extra property tests on the core measures (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    combine_beta,
+    frank_vector,
+    roundtriprank,
+    roundtriprank_plus,
+    trank_vector,
+)
+from tests.conftest import connected_undirected_strategy, random_digraph_strategy
+
+positive_vec = arrays(
+    np.float64, 6, elements=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False)
+)
+
+
+class TestCombineBetaProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(positive_vec, positive_vec, st.floats(0.05, 0.45), st.floats(0.55, 0.95))
+    def test_monotone_in_beta_where_t_exceeds_f(self, f, t, lo, hi):
+        """Raising beta raises the score exactly where t > f (and vice versa)."""
+        s_lo = combine_beta(f, t, lo)
+        s_hi = combine_beta(f, t, hi)
+        grows = t > f
+        assert np.all(s_hi[grows] >= s_lo[grows] - 1e-12)
+        assert np.all(s_hi[~grows] <= s_lo[~grows] + 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(positive_vec, positive_vec, st.floats(0.0, 1.0))
+    def test_scale_equivariance(self, f, t, beta):
+        """Scaling f by c scales scores by c^(1-beta): ranking-invariant."""
+        c = 3.0
+        scaled = combine_beta(c * f, t, beta)
+        assert np.allclose(scaled, c ** (1 - beta) * combine_beta(f, t, beta))
+
+
+class TestWalkMeasureProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(connected_undirected_strategy(max_nodes=8))
+    def test_symmetric_graph_unweighted_f_t_relation(self, g):
+        """On undirected graphs both measures are positive everywhere."""
+        f = frank_vector(g, 0)
+        t = trank_vector(g, 0)
+        assert np.all(f > 0)
+        assert np.all(t > 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8), st.floats(0.1, 0.9))
+    def test_alpha_changes_scores_smoothly(self, g, alpha):
+        f = frank_vector(g, 0, alpha)
+        assert f.sum() == pytest.approx(1.0, abs=1e-8)
+        assert f[0] >= alpha - 1e-9  # L = 0 stays at the query
+
+    @settings(max_examples=10, deadline=None)
+    @given(connected_undirected_strategy(max_nodes=7))
+    def test_roundtriprank_plus_interpolates_rankings(self, g):
+        """beta extremes agree with the mono-sensed rankings exactly."""
+        f = frank_vector(g, 0)
+        t = trank_vector(g, 0)
+        lo = roundtriprank_plus(g, 0, beta=0.0)
+        hi = roundtriprank_plus(g, 0, beta=1.0)
+        assert np.array_equal(lo, f)
+        assert np.array_equal(hi, t)
+
+    @settings(max_examples=10, deadline=None)
+    @given(connected_undirected_strategy(max_nodes=7))
+    def test_roundtriprank_is_distribution(self, g):
+        r = roundtriprank(g, 0)
+        assert r.sum() == pytest.approx(1.0)
+        assert np.all(r >= 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_undirected_strategy(max_nodes=8))
+    def test_reversibility_identity_on_undirected_graphs(self, g):
+        """Undirected walks are reversible: t(q, v) = f(q, v) * s_q / s_v
+        with s the weighted degree — specificity is importance rescaled by
+        popularity, which is exactly the paper's intuition for why hubs
+        (large s_v) are important but unspecific."""
+        strength = np.asarray(g.weights.sum(axis=1)).ravel()
+        f = frank_vector(g, 0)
+        t = trank_vector(g, 0)
+        expected_t = f * strength[0] / strength
+        assert np.allclose(t, expected_t, atol=1e-8)

@@ -1,0 +1,119 @@
+"""Tests for RoundTripRank (Definitions 1–2, Proposition 2, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    enumerate_round_trips,
+    frank_vector,
+    roundtriprank,
+    roundtriprank_by_enumeration,
+    roundtriprank_constant_length,
+    trank_vector,
+)
+from repro.datasets import FIG4_EXPECTED_MASS
+from tests.conftest import random_digraph_strategy
+
+
+class TestFig4Oracle:
+    """Regenerate the paper's Fig. 4 table exactly."""
+
+    def test_unnormalized_masses(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        scores = roundtriprank_constant_length(toy_graph, q, 2, 2, normalize=False)
+        for label, expected in FIG4_EXPECTED_MASS.items():
+            assert scores[toy_graph.node_by_label(label)] == pytest.approx(expected)
+
+    def test_all_other_targets_zero(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        scores = roundtriprank_constant_length(toy_graph, q, 2, 2, normalize=False)
+        expected_nonzero = {toy_graph.node_by_label(l) for l in FIG4_EXPECTED_MASS}
+        for v in range(toy_graph.n_nodes):
+            if v not in expected_nonzero:
+                assert scores[v] == 0.0
+
+    def test_path_probabilities(self, toy_graph):
+        """Individual round trips match the paper's listed probabilities."""
+        q = toy_graph.node_by_label("t1")
+        trips = enumerate_round_trips(toy_graph, q, 2, 2)
+        v1 = toy_graph.node_by_label("v1")
+        v2 = toy_graph.node_by_label("v2")
+        v3 = toy_graph.node_by_label("v3")
+        assert len(trips[v1]) == 4
+        assert all(p == pytest.approx(0.0125) for _, p in trips[v1])
+        assert len(trips[v2]) == 4
+        assert all(p == pytest.approx(0.025) for _, p in trips[v2])
+        assert len(trips[v3]) == 1
+        assert trips[v3][0][1] == pytest.approx(0.05)
+        assert len(trips[q]) == 25
+        assert all(p == pytest.approx(0.01) for _, p in trips[q])
+
+    def test_venue_ranking_intuition(self, toy_graph):
+        """v2 (important AND specific) beats v1 and v3; self-proximity tops."""
+        q = toy_graph.node_by_label("t1")
+        r = roundtriprank(toy_graph, q)
+        v1, v2, v3 = (toy_graph.node_by_label(v) for v in ("v1", "v2", "v3"))
+        assert r[v2] > r[v1]
+        assert r[v2] > r[v3]
+        assert r.argmax() == q
+
+
+class TestProposition2:
+    """Enumeration (Definition 2) equals the f*t decomposition."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_digraph_strategy(max_nodes=5, max_edges=8))
+    def test_enumeration_matches_product(self, g):
+        enum = roundtriprank_by_enumeration(g, 0, 2, 2)
+        product = roundtriprank_constant_length(g, 0, 2, 2)
+        assert np.allclose(enum, product, atol=1e-9)
+
+    def test_asymmetric_lengths(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        enum = roundtriprank_by_enumeration(toy_graph, q, 1, 3)
+        product = roundtriprank_constant_length(toy_graph, q, 1, 3)
+        assert np.allclose(enum, product, atol=1e-12)
+
+
+class TestGeometricRoundTripRank:
+    def test_normalized_distribution(self, toy_graph):
+        r = roundtriprank(toy_graph, 0)
+        assert r.sum() == pytest.approx(1.0)
+        assert np.all(r >= 0)
+
+    def test_unnormalized_is_ft_product(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        r = roundtriprank(toy_graph, q, normalize=False)
+        f = frank_vector(toy_graph, q)
+        t = trank_vector(toy_graph, q)
+        assert np.allclose(r, f * t, atol=1e-12)
+
+    def test_rank_equivalence_of_normalization(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        a = roundtriprank(toy_graph, q, normalize=True)
+        b = roundtriprank(toy_graph, q, normalize=False)
+        assert np.array_equal(np.argsort(-a), np.argsort(-b))
+
+    def test_multi_node_query_linear(self, toy_graph):
+        a = toy_graph.node_by_label("t1")
+        b = toy_graph.node_by_label("t2")
+        combined = roundtriprank(toy_graph, [a, b], normalize=False)
+        separate = 0.5 * roundtriprank(toy_graph, a, normalize=False) + 0.5 * roundtriprank(
+            toy_graph, b, normalize=False
+        )
+        assert np.allclose(combined, separate, atol=1e-12)
+
+
+class TestEnumerationGuards:
+    def test_negative_lengths_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            enumerate_round_trips(toy_graph, 0, -1, 2)
+        with pytest.raises(ValueError):
+            roundtriprank_constant_length(toy_graph, 0, 1, -2)
+
+    def test_zero_length_trips(self, toy_graph):
+        """L = L' = 0: the only round trip is staying at the query."""
+        trips = enumerate_round_trips(toy_graph, 0, 0, 0)
+        assert list(trips) == [0]
+        assert trips[0][0] == ((0,), 1.0)

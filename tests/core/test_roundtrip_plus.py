@@ -1,0 +1,104 @@
+"""Tests for RoundTripRank+ (Proposition 3, Eq. 11–12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HybridSurfers,
+    combine_beta,
+    frank_vector,
+    roundtriprank,
+    roundtriprank_for_surfers,
+    roundtriprank_plus,
+    trank_vector,
+)
+
+
+class TestDegenerateCases:
+    """The special cases of Sect. IV-A: beta 0 / 0.5 / 1."""
+
+    def test_beta_zero_is_frank_exactly(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        scores = roundtriprank_plus(toy_graph, q, beta=0.0)
+        assert np.array_equal(scores, frank_vector(toy_graph, q))
+
+    def test_beta_one_is_trank_exactly(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        scores = roundtriprank_plus(toy_graph, q, beta=1.0)
+        assert np.array_equal(scores, trank_vector(toy_graph, q))
+
+    def test_beta_half_rank_equivalent_to_roundtriprank(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        plus = roundtriprank_plus(toy_graph, q, beta=0.5)
+        base = roundtriprank(toy_graph, q)
+        assert np.array_equal(np.argsort(-plus), np.argsort(-base))
+
+
+class TestCombineBeta:
+    def test_formula(self):
+        f = np.array([0.4, 0.1])
+        t = np.array([0.1, 0.4])
+        out = combine_beta(f, t, 0.25)
+        assert np.allclose(out, f**0.75 * t**0.25)
+
+    def test_zeros_stay_zero_for_interior_beta(self):
+        f = np.array([0.5, 0.0])
+        t = np.array([0.0, 0.5])
+        out = combine_beta(f, t, 0.5)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_extremes_copy_not_alias(self):
+        f = np.array([0.5])
+        t = np.array([0.2])
+        out = combine_beta(f, t, 0.0)
+        out[0] = 99.0
+        assert f[0] == 0.5
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            combine_beta(np.zeros(1), np.zeros(1), 1.5)
+
+
+class TestBetaSweepBehaviour:
+    def test_beta_shifts_ranking_from_importance_to_specificity(self, toy_graph):
+        """On the toy graph: v1 is important, v3 specific; low beta favors
+        v1, high beta favors v3 (the Fig. 2 intuition)."""
+        q = toy_graph.node_by_label("t1")
+        v1 = toy_graph.node_by_label("v1")
+        v3 = toy_graph.node_by_label("v3")
+        low = roundtriprank_plus(toy_graph, q, beta=0.05)
+        high = roundtriprank_plus(toy_graph, q, beta=0.95)
+        assert low[v1] > low[v3]
+        assert high[v3] > high[v1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_scores_between_f_and_t_pointwise(self, beta):
+        f = np.array([0.5, 0.01, 0.2])
+        t = np.array([0.1, 0.3, 0.2])
+        out = combine_beta(f, t, beta)
+        assert np.all(out <= np.maximum(f, t) + 1e-12)
+        assert np.all(out >= np.minimum(f, t) - 1e-12)
+
+
+class TestSurferEquivalence:
+    """Proposition 3: explicit surfer compositions equal the beta form."""
+
+    @pytest.mark.parametrize(
+        "surfers",
+        [
+            HybridSurfers(1, 0, 0),
+            HybridSurfers(0, 1, 0),
+            HybridSurfers(0, 0, 1),
+            HybridSurfers(2, 1, 1),
+            HybridSurfers(1, 3, 0),
+            HybridSurfers(0.5, 0.0, 1.5),
+        ],
+    )
+    def test_matches_beta_computation(self, toy_graph, surfers):
+        q = toy_graph.node_by_label("t1")
+        via_surfers = roundtriprank_for_surfers(toy_graph, q, surfers)
+        via_beta = roundtriprank_plus(toy_graph, q, beta=surfers.beta)
+        assert np.allclose(via_surfers, via_beta, atol=1e-12)

@@ -1,0 +1,78 @@
+"""Tests for hybrid random surfers and the specificity bias (Sect. IV-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HybridSurfers
+
+
+class TestBetaFormula:
+    def test_balanced_is_half(self):
+        assert HybridSurfers.balanced().beta == pytest.approx(0.5)
+
+    def test_importance_only_is_zero(self):
+        assert HybridSurfers.importance_only().beta == 0.0
+
+    def test_specificity_only_is_one(self):
+        assert HybridSurfers.specificity_only().beta == 1.0
+
+    def test_mixed_composition(self):
+        # beta = (n11 + n01) / (|Omega| + n11) = (2 + 1) / (4 + 2) = 0.5
+        s = HybridSurfers(n_balanced=2, n_importance=1, n_specificity=1)
+        assert s.beta == pytest.approx(0.5)
+
+    def test_importance_leaning(self):
+        s = HybridSurfers(n_balanced=1, n_importance=3, n_specificity=0)
+        # (1 + 0) / (4 + 1) = 0.2
+        assert s.beta == pytest.approx(0.2)
+
+    def test_scale_invariance(self):
+        a = HybridSurfers(1, 2, 3)
+        b = HybridSurfers(10, 20, 30)
+        assert a.beta == pytest.approx(b.beta)
+
+
+class TestFromBeta:
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_round_trip(self, beta):
+        assert HybridSurfers.from_beta(beta).beta == pytest.approx(beta, abs=1e-12)
+
+    def test_half_maps_to_pure_balanced(self):
+        s = HybridSurfers.from_beta(0.5)
+        assert s.n_importance == 0.0 and s.n_specificity == 0.0
+        assert s.n_balanced > 0
+
+    def test_extremes(self):
+        lo = HybridSurfers.from_beta(0.0)
+        assert lo.n_balanced == 0.0 and lo.n_specificity == 0.0
+        hi = HybridSurfers.from_beta(1.0)
+        assert hi.n_balanced == 0.0 and hi.n_importance == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSurfers.from_beta(1.5)
+
+
+class TestValidation:
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HybridSurfers(0, 0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSurfers(-1, 1, 1)
+
+
+class TestExponents:
+    def test_sum_to_one(self):
+        s = HybridSurfers(2, 1, 3)
+        ef, et = s.exponents
+        assert ef + et == pytest.approx(1.0)
+
+    def test_match_beta(self):
+        s = HybridSurfers(2, 1, 3)
+        ef, et = s.exponents
+        assert et == pytest.approx(s.beta)
+        assert ef == pytest.approx(1.0 - s.beta)

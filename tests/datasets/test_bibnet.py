@@ -1,0 +1,139 @@
+"""Tests for the synthetic BibNet generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BibNetConfig, generate_bibnet
+from repro.datasets.bibnet import AREA_SUBTOPICS, BIBNET_TYPE_NAMES
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        cfg = BibNetConfig(n_papers=60, n_authors=30, seed=5)
+        a = generate_bibnet(cfg)
+        b = generate_bibnet(cfg)
+        assert a.graph.n_nodes == b.graph.n_nodes
+        assert (a.graph.weights != b.graph.weights).nnz == 0
+        assert a.paper_venue == b.paper_venue
+
+    def test_different_seed_differs(self):
+        a = generate_bibnet(BibNetConfig(n_papers=60, n_authors=30, seed=5))
+        b = generate_bibnet(BibNetConfig(n_papers=60, n_authors=30, seed=6))
+        if a.graph.n_nodes == b.graph.n_nodes:
+            assert (a.graph.weights != b.graph.weights).nnz > 0
+        else:
+            assert a.graph.n_nodes != b.graph.n_nodes
+
+
+class TestSchema:
+    def test_type_names(self, small_bibnet):
+        assert small_bibnet.graph.type_names == BIBNET_TYPE_NAMES
+
+    def test_node_partition(self, small_bibnet):
+        total = (
+            len(small_bibnet.paper_nodes)
+            + len(small_bibnet.author_nodes)
+            + len(small_bibnet.term_nodes)
+            + len(small_bibnet.venue_nodes)
+        )
+        assert total == small_bibnet.graph.n_nodes
+
+    def test_citations_point_to_earlier_papers(self, small_bibnet):
+        g = small_bibnet.graph
+        paper_code = g.type_code("paper")
+        ts = small_bibnet.node_timestamps
+        for p in small_bibnet.paper_nodes.tolist():
+            for nb in g.out_neighbors(p).tolist():
+                if g.node_types[nb] == paper_code:
+                    assert ts[nb] <= ts[p]
+                    assert nb < p  # generated strictly earlier
+
+    def test_citation_edges_directed(self, small_bibnet):
+        """Paper->paper arcs are one-way; other edge types are symmetric."""
+        g = small_bibnet.graph
+        paper_code = g.type_code("paper")
+        coo = g.weights.tocoo()
+        for u, v in zip(coo.row.tolist(), coo.col.tolist()):
+            if g.node_types[u] == paper_code and g.node_types[v] == paper_code:
+                assert not g.has_edge(v, u)
+            else:
+                assert g.has_edge(v, u)
+
+    def test_provenance_edges_exist(self, small_bibnet):
+        g = small_bibnet.graph
+        for p in small_bibnet.paper_nodes[:50].tolist():
+            assert g.has_edge(p, small_bibnet.paper_venue[p])
+            for a in small_bibnet.paper_authors[p]:
+                assert g.has_edge(p, a)
+            for t in small_bibnet.paper_terms[p]:
+                assert g.has_edge(p, t)
+
+    def test_venue_spectrum(self, small_bibnet):
+        """Broad venues collect far more papers than narrow venues."""
+        counts: dict[int, int] = {}
+        for venue in small_bibnet.paper_venue.values():
+            counts[venue] = counts.get(venue, 0) + 1
+        broad = [
+            counts.get(v, 0)
+            for v, s in small_bibnet.venue_subtopic.items()
+            if s == -1
+        ]
+        narrow = [
+            counts.get(v, 0)
+            for v, s in small_bibnet.venue_subtopic.items()
+            if s >= 0
+        ]
+        assert max(broad) > max(narrow)
+
+    def test_subtopic_names_cover_all_areas(self, small_bibnet):
+        expected = [name for area in AREA_SUBTOPICS.values() for name in area]
+        assert small_bibnet.subtopic_names == expected
+
+
+class TestQueries:
+    def test_term_query_resolves_words(self, small_bibnet):
+        nodes = small_bibnet.term_query("spatio temporal data")
+        assert len(nodes) == 3
+        for node in nodes:
+            assert small_bibnet.graph.label_of(node).startswith("term:")
+
+    def test_term_query_skips_unknown_words(self, small_bibnet):
+        nodes = small_bibnet.term_query("spatio nonexistentword")
+        assert len(nodes) == 1
+
+    def test_term_query_all_unknown_raises(self, small_bibnet):
+        with pytest.raises(KeyError):
+            small_bibnet.term_query("zzz qqq")
+
+
+class TestTimestamps:
+    def test_all_nodes_have_timestamps(self, small_bibnet):
+        assert small_bibnet.node_timestamps.shape == (small_bibnet.graph.n_nodes,)
+        assert small_bibnet.node_timestamps.min() >= 0
+        assert small_bibnet.node_timestamps.max() < small_bibnet.config.n_years
+
+    def test_non_paper_nodes_born_with_first_paper(self, small_bibnet):
+        ts = small_bibnet.node_timestamps
+        for p in small_bibnet.paper_nodes[:50].tolist():
+            for a in small_bibnet.paper_authors[p]:
+                assert ts[a] <= ts[p]
+            assert ts[small_bibnet.paper_venue[p]] <= ts[p]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_papers=5),
+            dict(n_authors=5),
+            dict(p_broad_venue=1.5),
+            dict(terms_per_paper_min=0),
+            dict(terms_per_paper_min=5, terms_per_paper_max=4),
+            dict(authors_per_paper_min=0),
+            dict(p_cite_same_subtopic=0.8, p_cite_same_area=0.3),
+            dict(n_years=0),
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            BibNetConfig(**kwargs)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic QLog generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import QLogConfig, generate_qlog
+from repro.datasets.qlog import STOP_WORDS
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        cfg = QLogConfig(n_concepts=40, seed=2)
+        a = generate_qlog(cfg)
+        b = generate_qlog(cfg)
+        assert (a.graph.weights != b.graph.weights).nnz == 0
+        assert a.phrase_text == b.phrase_text
+
+
+class TestBipartiteStructure:
+    def test_edges_only_phrase_url(self, small_qlog):
+        g = small_qlog.graph
+        phrase_code = g.type_code("phrase")
+        coo = g.weights.tocoo()
+        for u, v in zip(coo.row.tolist(), coo.col.tolist()):
+            assert g.node_types[u] != g.node_types[v]
+
+    def test_all_edges_undirected(self, small_qlog):
+        g = small_qlog.graph
+        coo = g.weights.tocoo()
+        for u, v, w in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+            assert g.edge_weight(v, u) == w
+
+    def test_click_counts_positive_integers(self, small_qlog):
+        data = small_qlog.graph.weights.tocoo().data
+        assert np.all(data >= 1)
+        assert np.allclose(data, np.round(data))
+
+    def test_node_partition(self, small_qlog):
+        assert len(small_qlog.phrase_nodes) + len(small_qlog.url_nodes) == (
+            small_qlog.graph.n_nodes
+        )
+
+
+class TestConceptsAndEquivalence:
+    def test_same_concept_same_non_stop_words(self, small_qlog):
+        for c, phrases in small_qlog.concept_phrases.items():
+            keys = {small_qlog.non_stop_words(p) for p in phrases}
+            assert len(keys) == 1
+
+    def test_different_concepts_different_keys(self, small_qlog):
+        keys = {}
+        for p in small_qlog.phrase_nodes.tolist():
+            c = small_qlog.phrase_concept[p]
+            keys.setdefault(c, small_qlog.non_stop_words(p))
+        all_keys = list(keys.values())
+        assert len(set(all_keys)) == len(all_keys)
+
+    def test_equivalent_phrases_consistent_with_rule(self, small_qlog):
+        some = small_qlog.phrase_nodes[:40].tolist()
+        for p in some:
+            equivalents = small_qlog.equivalent_phrases(p)
+            assert p not in equivalents
+            for e in equivalents:
+                assert small_qlog.non_stop_words(e) == small_qlog.non_stop_words(p)
+                assert small_qlog.phrase_concept[e] == small_qlog.phrase_concept[p]
+
+    def test_phrases_contain_stop_word_variants(self, small_qlog):
+        """The generator must actually produce 'the apple ipod'-style texts."""
+        has_stop = any(
+            any(w in STOP_WORDS for w in text.split())
+            for text in small_qlog.phrase_text.values()
+        )
+        assert has_stop
+
+
+class TestClicks:
+    def test_clicked_urls_are_neighbors(self, small_qlog):
+        g = small_qlog.graph
+        for p in small_qlog.phrase_nodes[:40].tolist():
+            for u in small_qlog.phrase_clicked_urls[p]:
+                assert g.has_edge(p, u)
+
+    def test_portal_urls_popular(self, small_qlog):
+        """Portals should collect clicks from many phrases (importance)."""
+        g = small_qlog.graph
+        in_deg = g.in_degrees
+        portal_degrees = in_deg[small_qlog.portal_urls]
+        concept_urls = np.setdiff1d(small_qlog.url_nodes, small_qlog.portal_urls)
+        assert portal_degrees.max() > np.percentile(in_deg[concept_urls], 99)
+
+    def test_timestamps_within_days(self, small_qlog):
+        assert small_qlog.node_timestamps.min() >= 0
+        assert small_qlog.node_timestamps.max() < small_qlog.config.n_days
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_concepts=1),
+            dict(phrases_per_concept_min=0),
+            dict(words_per_concept_min=3, words_per_concept_max=2),
+            dict(urls_per_concept_min=0),
+            dict(p_portal_click=1.2),
+            dict(p_sibling_click=-0.1),
+            dict(concepts_per_domain=0),
+            dict(n_days=0),
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            QLogConfig(**kwargs)

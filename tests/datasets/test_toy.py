@@ -1,0 +1,53 @@
+"""Tests for the Fig. 2 toy graph."""
+
+import pytest
+
+from repro.datasets import FIG4_EXPECTED_MASS, toy_bibliographic_graph
+
+
+class TestToyStructure:
+    def test_node_counts(self, toy_graph):
+        assert toy_graph.n_nodes == 12
+        assert toy_graph.type_mask("term").sum() == 2
+        assert toy_graph.type_mask("paper").sum() == 7
+        assert toy_graph.type_mask("venue").sum() == 3
+
+    def test_degrees_match_paper(self, toy_graph):
+        """The Fig. 4 probabilities rely on these exact degrees."""
+        g = toy_graph
+        assert len(g.out_neighbors(g.node_by_label("t1"))) == 5
+        assert len(g.out_neighbors(g.node_by_label("t2"))) == 2
+        assert len(g.out_neighbors(g.node_by_label("v1"))) == 4
+        assert len(g.out_neighbors(g.node_by_label("v2"))) == 2
+        assert len(g.out_neighbors(g.node_by_label("v3"))) == 1
+        for i in range(1, 8):
+            assert len(g.out_neighbors(g.node_by_label(f"p{i}"))) == 2
+
+    def test_venue_paper_assignments(self, toy_graph):
+        g = toy_graph
+        v1_papers = {g.label_of(p) for p in g.out_neighbors(g.node_by_label("v1"))}
+        assert v1_papers == {"p1", "p2", "p6", "p7"}
+        v2_papers = {g.label_of(p) for p in g.out_neighbors(g.node_by_label("v2"))}
+        assert v2_papers == {"p3", "p4"}
+        v3_papers = {g.label_of(p) for p in g.out_neighbors(g.node_by_label("v3"))}
+        assert v3_papers == {"p5"}
+
+    def test_all_edges_undirected(self, toy_graph):
+        coo = toy_graph.weights.tocoo()
+        for u, v in zip(coo.row.tolist(), coo.col.tolist()):
+            assert toy_graph.has_edge(v, u)
+
+    def test_fresh_instances_identical(self, toy_graph):
+        g2 = toy_bibliographic_graph()
+        assert g2.labels == toy_graph.labels
+        assert (g2.weights != toy_graph.weights).nnz == 0
+
+
+class TestFig4Constants:
+    def test_expected_masses_sum(self):
+        # the toy table's listed masses: 0.05 + 0.1 + 0.05 + 0.25
+        assert sum(FIG4_EXPECTED_MASS.values()) == pytest.approx(0.45)
+
+    def test_ratios(self):
+        assert FIG4_EXPECTED_MASS["v2"] == pytest.approx(2 * FIG4_EXPECTED_MASS["v1"])
+        assert FIG4_EXPECTED_MASS["t1"] == pytest.approx(5 * FIG4_EXPECTED_MASS["v1"])

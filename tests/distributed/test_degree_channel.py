@@ -1,0 +1,50 @@
+"""Tests for the degree-metadata channel between AP and GPs."""
+
+import numpy as np
+
+from repro.distributed import SimulatedCluster
+
+
+class TestDegreeChannel:
+    def test_in_and_out_degrees_match_local(self, toy_graph):
+        cluster = SimulatedCluster(toy_graph, n_gps=3)
+        remote = cluster.new_access()
+        nodes = np.arange(toy_graph.n_nodes)
+        assert np.array_equal(remote.out_degrees(nodes), toy_graph.out_degrees)
+        expected_in = np.asarray(
+            [toy_graph.in_edges(int(v))[0].size for v in nodes]
+        )
+        assert np.array_equal(remote.in_degrees(nodes), expected_in)
+
+    def test_degree_caches_are_independent(self, toy_graph):
+        """Fetching out-degrees must not satisfy in-degree queries."""
+        cluster = SimulatedCluster(toy_graph, n_gps=2)
+        remote = cluster.new_access()
+        remote.out_degrees(np.array([0, 1]))
+        sent = remote.network.messages_sent
+        remote.in_degrees(np.array([0, 1]))
+        assert remote.network.messages_sent > sent
+
+    def test_degree_queries_cached(self, toy_graph):
+        cluster = SimulatedCluster(toy_graph, n_gps=2)
+        remote = cluster.new_access()
+        remote.in_degrees(np.array([0, 1, 2]))
+        sent = remote.network.messages_sent
+        remote.in_degrees(np.array([1, 2]))
+        assert remote.network.messages_sent == sent
+
+    def test_degree_messages_cheaper_than_adjacency(self, small_bibnet):
+        """The whole point of the metadata channel: asking for a hub's
+        degree must ship orders of magnitude fewer bytes than its list."""
+        g = small_bibnet.graph
+        hub = int(np.argmax(g.out_degrees))
+        cluster = SimulatedCluster(g, n_gps=2)
+
+        meta = cluster.new_access()
+        meta.in_degrees(np.array([hub]))
+        meta_bytes = meta.network.bytes_sent
+
+        full = cluster.new_access()
+        full.in_edges(hub)
+        full_bytes = full.network.bytes_sent
+        assert meta_bytes * 5 < full_bytes

@@ -1,0 +1,71 @@
+"""Tests for message byte accounting."""
+
+import numpy as np
+
+from repro.distributed import (
+    AdjacencyEntry,
+    AdjacencyRequest,
+    AdjacencyResponse,
+    DegreeRequest,
+    DegreeResponse,
+    NetworkStats,
+)
+from repro.distributed.messages import (
+    ADJ_ENTRY_BYTES,
+    DEGREE_BYTES,
+    ENVELOPE_BYTES,
+    NODE_ID_BYTES,
+)
+
+
+class TestPayloadBytes:
+    def test_adjacency_request(self):
+        req = AdjacencyRequest(gp_id=0, nodes=np.array([1, 2, 3]))
+        assert req.payload_bytes == ENVELOPE_BYTES + 3 * NODE_ID_BYTES
+
+    def test_adjacency_entry_out_only(self):
+        entry = AdjacencyEntry(
+            node=1,
+            out_neighbors=np.array([2, 3]),
+            out_probs=np.array([0.5, 0.5]),
+            in_neighbors=None,
+            in_probs=None,
+            out_degree=2,
+        )
+        assert entry.payload_bytes == NODE_ID_BYTES + DEGREE_BYTES + 2 * ADJ_ENTRY_BYTES
+
+    def test_adjacency_entry_both_directions(self):
+        entry = AdjacencyEntry(
+            node=1,
+            out_neighbors=np.array([2]),
+            out_probs=np.array([1.0]),
+            in_neighbors=np.array([0, 3, 4]),
+            in_probs=np.array([0.1, 0.2, 0.7]),
+            out_degree=1,
+        )
+        assert entry.payload_bytes == NODE_ID_BYTES + DEGREE_BYTES + 4 * ADJ_ENTRY_BYTES
+
+    def test_adjacency_response_sums_entries(self):
+        entries = [
+            AdjacencyEntry(i, np.array([0]), np.array([1.0]), None, None, 1)
+            for i in range(3)
+        ]
+        resp = AdjacencyResponse(gp_id=0, entries=entries)
+        assert resp.payload_bytes == ENVELOPE_BYTES + 3 * entries[0].payload_bytes
+
+    def test_degree_messages(self):
+        req = DegreeRequest(gp_id=1, nodes=np.array([5, 6]))
+        assert req.payload_bytes == ENVELOPE_BYTES + 2 * NODE_ID_BYTES
+        resp = DegreeResponse(gp_id=1, nodes=np.array([5, 6]), degrees=np.array([1, 2]))
+        assert resp.payload_bytes == ENVELOPE_BYTES + 2 * (NODE_ID_BYTES + DEGREE_BYTES)
+
+
+class TestNetworkStats:
+    def test_record_accumulates(self):
+        stats = NetworkStats()
+        stats.record(0, 100)
+        stats.record(1, 50)
+        stats.record(0, 25)
+        assert stats.messages_sent == 3
+        assert stats.bytes_sent == 175
+        assert stats.per_gp_messages == {0: 2, 1: 1}

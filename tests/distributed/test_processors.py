@@ -1,0 +1,110 @@
+"""Tests for graph processors and the remote access layer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    AdjacencyRequest,
+    DegreeRequest,
+    GraphProcessor,
+    RemoteGraphAccess,
+    SimulatedCluster,
+    StripeMap,
+)
+from repro.topk import LocalGraphAccess
+
+
+@pytest.fixture()
+def cluster(toy_graph):
+    return SimulatedCluster(toy_graph, n_gps=3)
+
+
+class TestGraphProcessor:
+    def test_owns_only_stripe(self, toy_graph):
+        sm = StripeMap(toy_graph.n_nodes, 3)
+        gp = GraphProcessor(1, toy_graph, sm.owned_nodes(1))
+        assert gp.owns(1) and gp.owns(4)
+        assert not gp.owns(0)
+
+    def test_serves_correct_adjacency(self, toy_graph, cluster):
+        gp = cluster.processors[0]
+        req = AdjacencyRequest(gp_id=0, nodes=np.array([0, 3]), want_out=True, want_in=True)
+        resp = gp.serve_adjacency(req)
+        for entry in resp.entries:
+            expected_n, expected_p = toy_graph.out_edges(entry.node)
+            assert np.array_equal(entry.out_neighbors, expected_n)
+            assert np.array_equal(entry.out_probs, expected_p)
+            in_n, in_p = toy_graph.in_edges(entry.node)
+            assert np.array_equal(entry.in_neighbors, in_n)
+            assert np.array_equal(entry.in_probs, in_p)
+
+    def test_rejects_unowned_node(self, cluster):
+        gp = cluster.processors[0]
+        with pytest.raises(KeyError):
+            gp.serve_adjacency(AdjacencyRequest(gp_id=0, nodes=np.array([1])))
+
+    def test_rejects_misrouted_request(self, cluster):
+        gp = cluster.processors[0]
+        with pytest.raises(ValueError, match="routed"):
+            gp.serve_adjacency(AdjacencyRequest(gp_id=2, nodes=np.array([0])))
+
+    def test_serves_degrees(self, toy_graph, cluster):
+        gp = cluster.processors[0]
+        resp = gp.serve_degrees(DegreeRequest(gp_id=0, nodes=np.array([0, 3])))
+        assert np.array_equal(resp.degrees, toy_graph.out_degrees[[0, 3]])
+
+    def test_memory_accounting(self, toy_graph, cluster):
+        total = cluster.total_gp_memory_bytes()
+        # both directions stored: roughly double the single-copy graph size
+        assert total >= toy_graph.memory_bytes
+
+
+class TestRemoteGraphAccess:
+    def test_adjacency_matches_local(self, toy_graph, cluster):
+        remote = cluster.new_access()
+        local = LocalGraphAccess(toy_graph)
+        for v in range(toy_graph.n_nodes):
+            rn, rp = remote.out_edges(v)
+            ln, lp = local.out_edges(v)
+            assert np.array_equal(rn, ln) and np.array_equal(rp, lp)
+            rn2, rp2 = remote.in_edges(v)
+            ln2, lp2 = local.in_edges(v)
+            assert np.array_equal(rn2, ln2) and np.array_equal(rp2, lp2)
+
+    def test_caching_avoids_repeat_messages(self, cluster):
+        remote = cluster.new_access()
+        remote.out_edges(0)
+        sent = remote.network.messages_sent
+        remote.out_edges(0)
+        assert remote.network.messages_sent == sent
+
+    def test_prefetch_batches_per_gp(self, cluster, toy_graph):
+        remote = cluster.new_access()
+        remote.prefetch(np.arange(toy_graph.n_nodes), out=True, incoming=True)
+        # one request + one response per GP
+        assert remote.network.messages_sent == 2 * cluster.n_gps
+        # everything cached afterwards: no further traffic
+        remote.out_edges(5)
+        assert remote.network.messages_sent == 2 * cluster.n_gps
+
+    def test_degree_fetch(self, cluster, toy_graph):
+        remote = cluster.new_access()
+        degrees = remote.out_degrees(np.array([0, 1, 2]))
+        assert np.array_equal(degrees, toy_graph.out_degrees[[0, 1, 2]])
+        assert remote.out_degree(0) == int(toy_graph.out_degrees[0])
+
+    def test_active_set_accounting(self, cluster):
+        remote = cluster.new_access()
+        assert remote.active_set_bytes == 0
+        remote.out_edges(0)
+        assert remote.active_node_count > 0
+        assert remote.active_set_bytes > 0
+
+    def test_mismatched_processor_count_rejected(self, toy_graph, cluster):
+        with pytest.raises(ValueError):
+            RemoteGraphAccess(
+                StripeMap(toy_graph.n_nodes, 2),
+                cluster.processors,  # 3 processors
+                toy_graph.n_nodes,
+                False,
+            )

@@ -1,0 +1,55 @@
+"""Tests for round-robin striping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import StripeMap
+
+
+class TestStripeMap:
+    def test_owner_round_robin(self):
+        sm = StripeMap(10, 3)
+        assert [sm.owner(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_owned_nodes(self):
+        sm = StripeMap(7, 3)
+        assert sm.owned_nodes(0).tolist() == [0, 3, 6]
+        assert sm.owned_nodes(1).tolist() == [1, 4]
+        assert sm.owned_nodes(2).tolist() == [2, 5]
+
+    def test_partition(self):
+        sm = StripeMap(10, 2)
+        parts = sm.partition(np.array([0, 1, 2, 3, 8]))
+        assert parts[0].tolist() == [0, 2, 8]
+        assert parts[1].tolist() == [1, 3]
+
+    def test_assignment_matches_owner(self):
+        sm = StripeMap(9, 4)
+        assignment = sm.assignment()
+        for v in range(9):
+            assert assignment[v] == sm.owner(v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeMap(-1, 2)
+        with pytest.raises(ValueError):
+            StripeMap(5, 0)
+        sm = StripeMap(5, 2)
+        with pytest.raises(ValueError):
+            sm.owner(5)
+        with pytest.raises(ValueError):
+            sm.owned_nodes(2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_stripes_partition_all_nodes_evenly(self, n_nodes, n_gps):
+        sm = StripeMap(n_nodes, n_gps)
+        all_nodes = np.concatenate([sm.owned_nodes(g) for g in range(n_gps)])
+        assert sorted(all_nodes.tolist()) == list(range(n_nodes))
+        sizes = [sm.owned_nodes(g).size for g in range(n_gps)]
+        assert max(sizes) - min(sizes) <= 1  # balanced within one node

@@ -1,0 +1,57 @@
+"""Tests for the companion metrics (MRR, AP)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import average_precision, mean_reciprocal_rank, ndcg_at_k
+
+
+class TestMRR:
+    def test_first_position(self):
+        assert mean_reciprocal_rank([7, 1, 2], {7}) == 1.0
+
+    def test_third_position(self):
+        assert mean_reciprocal_rank([1, 2, 7], {7}) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert mean_reciprocal_rank([1, 2, 3], {9}) == 0.0
+
+    def test_uses_first_hit_only(self):
+        assert mean_reciprocal_rank([9, 7, 8], {7, 8}) == pytest.approx(0.5)
+
+    def test_empty_ranking(self):
+        assert mean_reciprocal_rank([], {1}) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2], {1, 2}) == pytest.approx(1.0)
+
+    def test_textbook_example(self):
+        # hits at positions 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision([1, 9, 2], {1, 2}) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_missing_relevant_penalized(self):
+        # only one of two relevant retrieved
+        assert average_precision([1, 9, 8], {1, 2}) == pytest.approx(0.5)
+
+    def test_empty_truth(self):
+        assert average_precision([1, 2], set()) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list(range(8))), st.sets(st.integers(0, 7), min_size=1))
+    def test_bounded_and_perfect_iff_prefix(self, ranking, relevant):
+        ap = average_precision(ranking, relevant)
+        assert 0.0 <= ap <= 1.0
+        prefix_is_relevant = set(ranking[: len(relevant)]) == relevant
+        assert (ap == pytest.approx(1.0)) == prefix_is_relevant
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list(range(8))), st.sets(st.integers(0, 7), min_size=1))
+    def test_metrics_agree_on_perfection(self, ranking, relevant):
+        """AP, MRR and NDCG all hit their maximum on a perfect prefix."""
+        perfect = sorted(relevant) + [v for v in ranking if v not in relevant]
+        assert average_precision(perfect, relevant) == pytest.approx(1.0)
+        assert mean_reciprocal_rank(perfect, relevant) == 1.0
+        assert ndcg_at_k(perfect, relevant, 8) == pytest.approx(1.0)

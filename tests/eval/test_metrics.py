@@ -1,0 +1,110 @@
+"""Tests for ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    dcg_at_k,
+    kendall_tau_on_union,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_from_scores,
+    topk_overlap_precision,
+)
+
+
+class TestDCG:
+    def test_formula(self):
+        # 1/log2(2) + 0 + 1/log2(4)
+        assert dcg_at_k([1, 0, 1], 3) == pytest.approx(1.0 + 0.5)
+
+    def test_truncation(self):
+        assert dcg_at_k([1, 1, 1], 1) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert dcg_at_k([], 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg_at_k([1], 0)
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_no_hits_is_zero(self):
+        assert ndcg_at_k([4, 5, 6], {1, 2}, 3) == 0.0
+
+    def test_single_hit_positions(self):
+        first = ndcg_at_k([1, 9, 9], {1}, 3)
+        second = ndcg_at_k([9, 1, 9], {1}, 3)
+        third = ndcg_at_k([9, 9, 1], {1}, 3)
+        assert first == pytest.approx(1.0)
+        assert first > second > third > 0
+
+    def test_ideal_uses_truth_size(self):
+        # only one relevant node: placing it first is perfect even at k=3
+        assert ndcg_at_k([7, 0, 0], {7}, 3) == pytest.approx(1.0)
+
+    def test_empty_truth(self):
+        assert ndcg_at_k([1, 2], set(), 5) == 0.0
+
+    def test_bounded_by_one(self):
+        for ranking in ([1, 2, 9], [9, 1, 2], [2, 9, 1]):
+            assert 0.0 <= ndcg_at_k(ranking, {1, 2}, 3) <= 1.0
+
+
+class TestPrecision:
+    def test_values(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 4) == pytest.approx(0.5)
+        assert precision_at_k([1, 2], {1, 2}, 2) == 1.0
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {1}, 3) == 0.0
+
+    def test_overlap_precision(self):
+        assert topk_overlap_precision([1, 2, 3], [3, 2, 9], 3) == pytest.approx(2 / 3)
+        assert topk_overlap_precision([1], [1], 1) == 1.0
+
+
+class TestKendallTau:
+    def test_identical_lists(self):
+        assert kendall_tau_on_union([1, 2, 3], [1, 2, 3], 3) == pytest.approx(1.0)
+
+    def test_reversed_lists(self):
+        assert kendall_tau_on_union([1, 2, 3], [3, 2, 1], 3) == pytest.approx(-1.0)
+
+    def test_disjoint_lists_low(self):
+        tau = kendall_tau_on_union([1, 2], [3, 4], 2)
+        assert tau < 1.0
+
+    def test_partial_agreement_between_extremes(self):
+        tau = kendall_tau_on_union([1, 2, 3], [1, 3, 2], 3)
+        assert -1.0 < tau < 1.0
+
+    def test_single_element(self):
+        assert kendall_tau_on_union([1], [1], 1) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kendall_tau_on_union([1], [1], 0)
+
+
+class TestRankingFromScores:
+    def test_descending_with_id_tiebreak(self):
+        scores = np.array([0.5, 0.9, 0.5, 0.1])
+        assert ranking_from_scores(scores) == [1, 0, 2, 3]
+
+    def test_exclude(self):
+        scores = np.array([0.9, 0.5])
+        assert ranking_from_scores(scores, exclude={0}) == [1]
+
+    def test_candidate_mask(self):
+        scores = np.array([0.9, 0.5, 0.7])
+        mask = np.array([False, True, True])
+        assert ranking_from_scores(scores, candidate_mask=mask) == [2, 1]
+
+    def test_limit(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert ranking_from_scores(scores, limit=2) == [1, 2]

@@ -1,0 +1,133 @@
+"""Tests for the experiment runner."""
+
+from typing import ClassVar
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FRankMeasure,
+    ProximityMeasure,
+    RoundTripRankPlusMeasure,
+    TRankMeasure,
+)
+from repro.eval import (
+    FTCache,
+    compare_measures,
+    evaluate_measure,
+    evaluate_measures,
+    make_author_task,
+    make_venue_task,
+    run_task_suite,
+    tune_beta,
+)
+
+
+class OracleMeasure(ProximityMeasure):
+    """Scores 1.0 exactly on a case's ground truth (perfect ranking)."""
+
+    name: ClassVar[str] = "Oracle"
+
+    def __init__(self, task):
+        self._truth = {case.query: case.ground_truth for case in task.cases}
+
+    def scores(self, graph, query):
+        scores = np.zeros(graph.n_nodes)
+        for node in self._truth[query]:
+            scores[node] = 1.0
+        return scores
+
+
+class TestEvaluateMeasure:
+    def test_oracle_scores_perfect_ndcg(self, small_bibnet):
+        task = make_author_task(small_bibnet, 6, seed=1)
+        result = evaluate_measure(OracleMeasure(task), task, (5, 10))
+        assert result.mean_ndcg(5) == pytest.approx(1.0)
+        assert result.mean_ndcg(10) == pytest.approx(1.0)
+
+    def test_result_shape(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 4, seed=1)
+        result = evaluate_measure(FRankMeasure(), task, (5,))
+        assert result.ndcg.shape == (4, 1)
+        assert 0.0 <= result.mean_ndcg(5) <= 1.0
+
+    def test_invalid_k_values(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 2, seed=1)
+        with pytest.raises(ValueError):
+            evaluate_measure(FRankMeasure(), task, ())
+        with pytest.raises(ValueError):
+            evaluate_measure(FRankMeasure(), task, (0,))
+
+
+class TestFTCache:
+    def test_shared_ft_gives_same_results(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 4, seed=2)
+        cached = evaluate_measure(FRankMeasure(), task, (5,), ft_cache=FTCache())
+        uncached = evaluate_measure(FRankMeasure(), task, (5,))
+        assert np.allclose(cached.ndcg, uncached.ndcg)
+
+    def test_cache_computes_once(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 2, seed=2)
+        cache = FTCache()
+        f1, t1 = cache.get(0, task.cases[0])
+        f2, t2 = cache.get(0, task.cases[0])
+        assert f1 is f2 and t1 is t2
+        cache.clear()
+        f3, _ = cache.get(0, task.cases[0])
+        assert f3 is not f1
+
+
+class TestEvaluateMeasures:
+    def test_multiple_measures(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 3, seed=3)
+        results = evaluate_measures([FRankMeasure(), TRankMeasure()], task, (5,))
+        assert set(results) == {"F-Rank/PPR", "T-Rank"}
+
+
+class TestTuneBeta:
+    def test_returns_curve_over_grid(self, small_bibnet):
+        dev = make_venue_task(small_bibnet, 5, seed=4)
+        best, curve = tune_beta(
+            RoundTripRankPlusMeasure(), dev, betas=(0.0, 0.5, 1.0), k=5
+        )
+        assert set(curve) == {0.0, 0.5, 1.0}
+        assert best in curve
+        assert curve[best] == max(curve.values())
+
+    def test_rejects_non_measure(self, small_bibnet):
+        dev = make_venue_task(small_bibnet, 2, seed=4)
+
+        class NotAMeasure:
+            def with_beta(self, b):
+                return self
+
+        with pytest.raises(TypeError):
+            tune_beta(NotAMeasure(), dev)
+
+
+class TestSuite:
+    def test_format_table(self, small_bibnet):
+        tasks = [make_venue_task(small_bibnet, 3, seed=5)]
+        suite = run_task_suite([FRankMeasure(), TRankMeasure()], tasks, (5,))
+        table = suite.format_table()
+        assert "F-Rank/PPR" in table
+        assert "Task 2 (Venue)" in table
+        assert "Avg @ 5" in table
+
+    def test_average_ndcg(self, small_bibnet):
+        t1 = make_venue_task(small_bibnet, 3, seed=6, name="A")
+        t2 = make_author_task(small_bibnet, 3, seed=6, name="B")
+        suite = run_task_suite([FRankMeasure()], [t1, t2], (5,))
+        avg = suite.average_ndcg("F-Rank/PPR", 5)
+        a = suite.results["F-Rank/PPR"]["A"].mean_ndcg(5)
+        b = suite.results["F-Rank/PPR"]["B"].mean_ndcg(5)
+        assert avg == pytest.approx((a + b) / 2)
+
+
+class TestCompareMeasures:
+    def test_identical_measures_not_significant(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 5, seed=7)
+        r1 = evaluate_measure(FRankMeasure(), task, (5,))
+        r2 = evaluate_measure(FRankMeasure(), task, (5,))
+        t = compare_measures(r1, r2, 5)
+        assert t.p_value == 1.0

@@ -1,0 +1,109 @@
+"""Tests for the Task 1–4 construction (ground truth reservation)."""
+
+import pytest
+
+from repro.eval import (
+    make_author_task,
+    make_equivalent_task,
+    make_url_task,
+    make_venue_task,
+)
+
+
+class TestAuthorTask:
+    def test_structure(self, small_bibnet):
+        task = make_author_task(small_bibnet, 10, seed=1)
+        assert len(task) == 10
+        assert task.target_type == "author"
+        for case in task.cases:
+            assert case.ground_truth
+            assert case.query in case.excluded
+
+    def test_edges_removed_both_directions(self, small_bibnet):
+        task = make_author_task(small_bibnet, 5, seed=2)
+        for case in task.cases:
+            q = case.query
+            for author in case.ground_truth:
+                assert not case.graph.has_edge(q, author)
+                assert not case.graph.has_edge(author, q)
+                # original graph still has them
+                assert small_bibnet.graph.has_edge(q, author)
+
+    def test_candidate_mask_is_author_type(self, small_bibnet):
+        task = make_author_task(small_bibnet, 3, seed=3)
+        mask = task.cases[0].candidate_mask
+        assert mask.sum() == len(small_bibnet.author_nodes)
+
+    def test_ground_truth_matches_provenance(self, small_bibnet):
+        task = make_author_task(small_bibnet, 5, seed=4)
+        for case in task.cases:
+            assert case.ground_truth == frozenset(
+                small_bibnet.paper_authors[case.query]
+            )
+
+    def test_deterministic(self, small_bibnet):
+        t1 = make_author_task(small_bibnet, 5, seed=9)
+        t2 = make_author_task(small_bibnet, 5, seed=9)
+        assert [c.query for c in t1.cases] == [c.query for c in t2.cases]
+
+
+class TestVenueTask:
+    def test_single_truth_per_query(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 8, seed=1)
+        for case in task.cases:
+            assert len(case.ground_truth) == 1
+            venue = next(iter(case.ground_truth))
+            assert venue == small_bibnet.paper_venue[case.query]
+            assert not case.graph.has_edge(case.query, venue)
+
+
+class TestUrlTask:
+    def test_truth_is_clicked_url(self, small_qlog):
+        task = make_url_task(small_qlog, 8, seed=1)
+        for case in task.cases:
+            url = next(iter(case.ground_truth))
+            assert small_qlog.graph.has_edge(case.query, url)
+            assert not case.graph.has_edge(case.query, url)
+
+    def test_query_stays_connected(self, small_qlog):
+        task = make_url_task(small_qlog, 8, seed=2)
+        for case in task.cases:
+            assert len(case.graph.out_neighbors(case.query)) >= 1
+
+    def test_mask_is_url_type(self, small_qlog):
+        task = make_url_task(small_qlog, 3, seed=3)
+        mask = task.cases[0].candidate_mask
+        assert mask.sum() == len(small_qlog.url_nodes)
+
+
+class TestEquivalentTask:
+    def test_truth_satisfies_non_stop_word_rule(self, small_qlog):
+        task = make_equivalent_task(small_qlog, 8, seed=1)
+        for case in task.cases:
+            key = small_qlog.non_stop_words(case.query)
+            for p in case.ground_truth:
+                assert small_qlog.non_stop_words(p) == key
+
+    def test_truth_same_concept(self, small_qlog):
+        task = make_equivalent_task(small_qlog, 8, seed=2)
+        for case in task.cases:
+            concept = small_qlog.phrase_concept[case.query]
+            for p in case.ground_truth:
+                assert small_qlog.phrase_concept[p] == concept
+
+    def test_no_phrase_phrase_edges_anyway(self, small_qlog):
+        task = make_equivalent_task(small_qlog, 4, seed=3)
+        for case in task.cases:
+            for p in case.ground_truth:
+                assert not small_qlog.graph.has_edge(case.query, p)
+
+
+class TestSampling:
+    def test_more_queries_than_eligible_returns_all(self, small_bibnet):
+        task = make_author_task(small_bibnet, 10**6, seed=1)
+        assert len(task) <= len(small_bibnet.paper_nodes)
+        assert len(task) > 0
+
+    def test_zero_queries_rejected(self, small_bibnet):
+        with pytest.raises(ValueError):
+            make_author_task(small_bibnet, 0, seed=1)

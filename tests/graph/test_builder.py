@@ -1,0 +1,103 @@
+"""Tests for GraphBuilder and graph_from_edges."""
+
+import pytest
+
+from repro.graph import GraphBuilder, graph_from_edges
+
+
+class TestGraphBuilder:
+    def test_add_nodes_and_edges(self):
+        b = GraphBuilder()
+        a = b.add_node("a")
+        c = b.add_node("c")
+        b.add_edge(a, c, weight=2.0)
+        g = b.build()
+        assert g.n_nodes == 2
+        assert g.edge_weight(a, c) == 2.0
+
+    def test_undirected_edge_creates_two_arcs(self):
+        b = GraphBuilder()
+        a, c = b.add_node(), b.add_node()
+        b.add_edge(a, c, directed=False)
+        g = b.build()
+        assert g.has_edge(a, c) and g.has_edge(c, a)
+
+    def test_duplicate_arcs_summed(self):
+        b = GraphBuilder()
+        a, c = b.add_node(), b.add_node()
+        b.add_edge(a, c, weight=1.0)
+        b.add_edge(a, c, weight=2.0)
+        g = b.build()
+        assert g.edge_weight(a, c) == 3.0
+        assert g.n_edges == 1
+
+    def test_duplicate_labels_rejected(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_node("x")
+
+    def test_typed_builder_requires_types(self):
+        b = GraphBuilder(type_names=["paper"])
+        with pytest.raises(ValueError, match="node_type is required"):
+            b.add_node("p")
+        with pytest.raises(ValueError, match="unknown node type"):
+            b.add_node("p", "venue")
+
+    def test_untyped_builder_rejects_types(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError, match="without type_names"):
+            b.add_node("p", "paper")
+
+    def test_edge_validation(self):
+        b = GraphBuilder()
+        a = b.add_node()
+        with pytest.raises(ValueError, match="unknown nodes"):
+            b.add_edge(a, 7)
+        with pytest.raises(ValueError, match="weight"):
+            b.add_edge(a, a, weight=0.0)
+
+    def test_get_or_add_node(self):
+        b = GraphBuilder()
+        first = b.get_or_add_node("n")
+        second = b.get_or_add_node("n")
+        assert first == second
+        assert b.n_nodes == 1
+
+    def test_contains_and_node_id(self):
+        b = GraphBuilder()
+        b.add_node("present")
+        assert "present" in b
+        assert "absent" not in b
+        assert b.node_id("present") == 0
+
+    def test_counts(self):
+        b = GraphBuilder()
+        a, c = b.add_node(), b.add_node()
+        b.add_edge(a, c, directed=False)
+        assert b.n_nodes == 2
+        assert b.n_arcs == 2
+
+    def test_auto_labels(self):
+        b = GraphBuilder()
+        b.add_node()
+        g = b.build()
+        assert g.label_of(0) == "n0"
+
+
+class TestGraphFromEdges:
+    def test_two_tuple_edges(self):
+        g = graph_from_edges(2, [(0, 1)])
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_three_tuple_edges(self):
+        g = graph_from_edges(2, [(0, 1, 4.0)])
+        assert g.edge_weight(0, 1) == 4.0
+
+    def test_undirected(self):
+        g = graph_from_edges(2, [(0, 1)], directed=False)
+        assert g.has_edge(1, 0)
+
+    def test_labels(self):
+        g = graph_from_edges(2, [(0, 1)], labels=["x", "y"])
+        assert g.node_by_label("y") == 1

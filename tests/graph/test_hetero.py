@@ -1,0 +1,76 @@
+"""Tests for heterogeneous (typed) edge weighting."""
+
+import pytest
+
+from repro.graph import (
+    DEFAULT_BIBNET_TYPE_WEIGHTS,
+    apply_type_weights,
+    edge_type_counts,
+    graph_from_edges,
+)
+from repro.graph.builder import GraphBuilder
+
+
+def build_typed():
+    b = GraphBuilder(type_names=["paper", "term"])
+    p0 = b.add_node("p0", "paper")
+    p1 = b.add_node("p1", "paper")
+    t0 = b.add_node("t0", "term")
+    b.add_edge(p0, p1, weight=1.0, directed=True)  # paper->paper
+    b.add_edge(p0, t0, weight=1.0, directed=False)  # paper<->term
+    return b.build()
+
+
+class TestApplyTypeWeights:
+    def test_scales_by_type_pair(self):
+        g = build_typed()
+        g2 = apply_type_weights(g, {("paper", "paper"): 4.0, ("paper", "term"): 0.5})
+        assert g2.edge_weight(0, 1) == 4.0
+        assert g2.edge_weight(0, 2) == 0.5
+        assert g2.edge_weight(2, 0) == 1.0  # (term, paper) not listed -> default
+
+    def test_default_factor(self):
+        g = build_typed()
+        g2 = apply_type_weights(g, {}, default=2.0)
+        assert g2.edge_weight(0, 1) == 2.0
+
+    def test_zero_weight_removes_edge_type(self):
+        g = build_typed()
+        g2 = apply_type_weights(g, {("paper", "term"): 0.0})
+        assert not g2.has_edge(0, 2)
+        assert g2.has_edge(2, 0)
+
+    def test_rejects_untyped_graph(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="typed graph"):
+            apply_type_weights(g, {})
+
+    def test_rejects_negative_weight(self):
+        g = build_typed()
+        with pytest.raises(ValueError, match=">= 0"):
+            apply_type_weights(g, {("paper", "term"): -1.0})
+
+    def test_transition_changes_with_weights(self):
+        g = build_typed()
+        before = dict(zip(*[arr.tolist() for arr in g.out_edges(0)]))
+        g2 = apply_type_weights(g, {("paper", "paper"): 9.0})
+        after = dict(zip(*[arr.tolist() for arr in g2.out_edges(0)]))
+        assert after[1] > before[1]  # citation edge now dominates
+
+    def test_default_bibnet_weights_cover_all_pairs(self, small_bibnet):
+        g2 = apply_type_weights(small_bibnet.graph, DEFAULT_BIBNET_TYPE_WEIGHTS)
+        assert g2.n_edges == small_bibnet.graph.n_edges
+
+
+class TestEdgeTypeCounts:
+    def test_counts(self):
+        g = build_typed()
+        counts = edge_type_counts(g)
+        assert counts[("paper", "paper")] == 1
+        assert counts[("paper", "term")] == 1
+        assert counts[("term", "paper")] == 1
+
+    def test_rejects_untyped(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            edge_type_counts(g)

@@ -1,0 +1,49 @@
+"""Tests for graph serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import graph_from_edges, load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_weights_preserved(self, tmp_path):
+        g = graph_from_edges(3, [(0, 1, 2.5), (1, 2, 0.5)])
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.n_nodes == 3
+        assert g2.edge_weight(0, 1) == 2.5
+        assert g2.edge_weight(1, 2) == 0.5
+
+    def test_labels_and_types_preserved(self, toy_graph, tmp_path):
+        path = tmp_path / "toy.json"
+        save_graph(toy_graph, path)
+        g2 = load_graph(path)
+        assert g2.labels == toy_graph.labels
+        assert g2.type_names == toy_graph.type_names
+        assert np.array_equal(g2.node_types, toy_graph.node_types)
+
+    def test_transitions_identical(self, toy_graph, tmp_path):
+        path = tmp_path / "toy.json"
+        save_graph(toy_graph, path)
+        g2 = load_graph(path)
+        assert np.allclose(
+            toy_graph.transition.toarray(), g2.transition.toarray()
+        )
+
+    def test_unlabeled_graph(self, tmp_path):
+        g = graph_from_edges(2, [(0, 1)])
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        assert load_graph(path).labels is None
+
+
+class TestFormatGuard:
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)

@@ -1,0 +1,62 @@
+"""Tests for irreducibility utilities (the Sect. III-B caveat)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    graph_from_edges,
+    is_strongly_connected,
+    make_irreducible,
+    strongly_connected_components,
+)
+from tests.conftest import connected_undirected_strategy, random_digraph_strategy
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self, line_graph):
+        n, labels = strongly_connected_components(line_graph)
+        assert n == 1
+
+    def test_chain_components(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2)])
+        n, _ = strongly_connected_components(g)
+        assert n == 3
+
+    def test_is_strongly_connected(self, line_graph):
+        assert is_strongly_connected(line_graph)
+        assert not is_strongly_connected(graph_from_edges(2, [(0, 1)]))
+
+
+class TestMakeIrreducible:
+    def test_already_irreducible_returns_same_object(self, line_graph):
+        assert make_irreducible(line_graph) is line_graph
+
+    def test_connects_chain(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2)])
+        g2 = make_irreducible(g)
+        assert is_strongly_connected(g2)
+
+    def test_dummy_weights_small(self):
+        g = graph_from_edges(3, [(0, 1, 10.0), (1, 2, 10.0)])
+        g2 = make_irreducible(g, dummy_weight_fraction=1e-3)
+        # original structure dominates the transition probabilities
+        _, probs = g2.out_edges(0)
+        assert max(probs) > 0.99
+
+    def test_rejects_bad_fraction(self, line_graph):
+        with pytest.raises(ValueError):
+            make_irreducible(line_graph, dummy_weight_fraction=0.0)
+
+    def test_preserves_metadata(self, toy_graph):
+        g2 = make_irreducible(toy_graph)  # toy graph is connected already
+        assert g2.labels == toy_graph.labels
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8))
+    def test_always_strongly_connected_after(self, g):
+        assert is_strongly_connected(make_irreducible(g))
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_undirected_strategy(max_nodes=8))
+    def test_undirected_connected_untouched(self, g):
+        assert make_irreducible(g) is g

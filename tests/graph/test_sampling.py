@@ -1,0 +1,82 @@
+"""Tests for subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    graph_from_edges,
+    hop_expansion_subgraph,
+    random_seed_expansion,
+    venue_induced_subgraph,
+)
+
+
+class TestHopExpansion:
+    def test_zero_hops_keeps_seeds(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)], directed=False)
+        sub, ids = hop_expansion_subgraph(g, [2], hops=0)
+        assert ids.tolist() == [2]
+
+    def test_hops_reach_bfs_frontier(self):
+        g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)], directed=False)
+        _, ids = hop_expansion_subgraph(g, [0], hops=2)
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_undirected_view_used(self):
+        # directed edge 1 -> 0: node 1 is an in-neighbor of 0, still reached
+        g = graph_from_edges(3, [(1, 0), (1, 2)])
+        _, ids = hop_expansion_subgraph(g, [0], hops=1)
+        assert 1 in ids.tolist()
+
+    def test_max_nodes_keeps_seeds(self):
+        g = graph_from_edges(6, [(0, i) for i in range(1, 6)], directed=False)
+        _, ids = hop_expansion_subgraph(g, [0], hops=1, max_nodes=3, seed=1)
+        assert 0 in ids.tolist()
+        assert len(ids) == 3
+
+    def test_negative_hops_rejected(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            hop_expansion_subgraph(g, [0], hops=-1)
+
+
+class TestRandomSeedExpansion:
+    def test_deterministic_with_seed(self, small_qlog):
+        g = small_qlog.graph
+        _, ids1 = random_seed_expansion(g, 10, 2, seed=3)
+        _, ids2 = random_seed_expansion(g, 10, 2, seed=3)
+        assert np.array_equal(ids1, ids2)
+
+    def test_rejects_bad_seed_count(self, small_qlog):
+        with pytest.raises(ValueError):
+            random_seed_expansion(small_qlog.graph, 0, 1)
+
+
+class TestVenueInduced:
+    def test_keeps_only_requested_venues(self, small_bibnet):
+        venues = small_bibnet.venue_nodes[:3]
+        sub, ids = venue_induced_subgraph(small_bibnet.graph, venues)
+        venue_code = small_bibnet.graph.type_code("venue")
+        kept_venues = [i for i in ids if small_bibnet.graph.node_types[i] == venue_code]
+        assert sorted(kept_venues) == sorted(venues.tolist())
+
+    def test_includes_attached_papers_and_authors(self, small_bibnet):
+        venue = int(small_bibnet.venue_nodes[0])
+        _, ids = venue_induced_subgraph(small_bibnet.graph, [venue])
+        id_set = set(ids.tolist())
+        papers = [p for p, v in small_bibnet.paper_venue.items() if v == venue]
+        assert papers, "fixture venue should have papers"
+        for p in papers:
+            assert p in id_set
+            for a in small_bibnet.paper_authors[p]:
+                assert a in id_set
+
+    def test_rejects_non_venue(self, small_bibnet):
+        paper = int(small_bibnet.paper_nodes[0])
+        with pytest.raises(ValueError, match="not a venue"):
+            venue_induced_subgraph(small_bibnet.graph, [paper])
+
+    def test_rejects_untyped(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="typed"):
+            venue_induced_subgraph(g, [0])

@@ -1,0 +1,62 @@
+"""Tests for growing-graph snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.graph import graph_from_edges, growth_rates, take_snapshots
+
+
+class TestTakeSnapshots:
+    def test_cumulative(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)], directed=False)
+        ts = np.array([0, 0, 1, 2])
+        snaps = take_snapshots(g, ts, [0, 1, 2])
+        assert [s.graph.n_nodes for s in snaps] == [2, 3, 4]
+        assert snaps[0].original_ids.tolist() == [0, 1]
+        # cumulative: each snapshot's nodes are a superset of the previous
+        for a, b in zip(snaps, snaps[1:]):
+            assert set(a.original_ids.tolist()) <= set(b.original_ids.tolist())
+
+    def test_edges_induced(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2)], directed=False)
+        snaps = take_snapshots(g, np.array([0, 0, 1]), [0])
+        assert snaps[0].graph.n_edges == 2  # only 0<->1
+
+    def test_size_bytes(self):
+        g = graph_from_edges(2, [(0, 1)])
+        snap = take_snapshots(g, np.array([0, 0]), [0])[0]
+        assert snap.size_bytes == snap.graph.memory_bytes
+
+    def test_rejects_unsorted_cutoffs(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            take_snapshots(g, np.array([0, 0]), [1, 0])
+
+    def test_rejects_bad_timestamp_shape(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="shape"):
+            take_snapshots(g, np.array([0]), [0])
+
+    def test_rejects_empty_snapshot(self):
+        g = graph_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="empty"):
+            take_snapshots(g, np.array([5, 5]), [0])
+
+    def test_bibnet_snapshots_grow(self, small_bibnet):
+        years = sorted(set(small_bibnet.node_timestamps.tolist()))
+        cutoffs = years[len(years) // 2 :: 2] or [years[-1]]
+        snaps = take_snapshots(small_bibnet.graph, small_bibnet.node_timestamps, cutoffs)
+        sizes = [s.graph.n_nodes for s in snaps]
+        assert sizes == sorted(sizes)
+
+
+class TestGrowthRates:
+    def test_normalizes_by_first(self):
+        assert growth_rates([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+    def test_empty(self):
+        assert growth_rates([]) == []
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            growth_rates([0.0, 1.0])

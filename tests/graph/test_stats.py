@@ -1,0 +1,78 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    average_degree,
+    degree_summary,
+    fit_densification,
+    graph_from_edges,
+    hill_tail_exponent,
+)
+
+
+class TestDegreeSummary:
+    def test_basic(self):
+        g = graph_from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        s = degree_summary(g)
+        assert s.n_nodes == 3
+        assert s.n_edges == 3
+        assert s.avg_out_degree == pytest.approx(1.0)
+        assert s.max_out_degree == 2
+        assert s.max_in_degree == 2
+
+    def test_small_sample_tail_nan(self):
+        g = graph_from_edges(3, [(0, 1)])
+        s = degree_summary(g)
+        assert np.isnan(s.in_degree_tail_exponent)
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_exponent(self):
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        sample = (rng.pareto(alpha - 1.0, size=20000) + 1.0) * 2.0
+        est = hill_tail_exponent(sample, tail_fraction=0.05)
+        assert est == pytest.approx(alpha, abs=0.3)
+
+    def test_nan_on_empty_or_uniform(self):
+        assert np.isnan(hill_tail_exponent(np.zeros(100)))
+        assert np.isnan(hill_tail_exponent(np.full(1000, 3.0)))
+
+
+class TestDensification:
+    def test_exact_power_law_recovered(self):
+        nodes = np.array([100, 200, 400, 800])
+        c, a = 0.5, 1.3
+        edges = c * nodes.astype(float) ** a
+        c_hat, a_hat = fit_densification(nodes, edges)
+        assert c_hat == pytest.approx(c, rel=1e-6)
+        assert a_hat == pytest.approx(a, rel=1e-6)
+
+    def test_bibnet_densifies(self, small_bibnet):
+        """The synthetic generator should produce 1 < a < 2 like real graphs."""
+        from repro.graph import take_snapshots
+
+        years = sorted(set(small_bibnet.node_timestamps.tolist()))
+        snaps = take_snapshots(
+            small_bibnet.graph, small_bibnet.node_timestamps, years[2:]
+        )
+        c, a = fit_densification(
+            [s.graph.n_nodes for s in snaps], [s.graph.n_edges for s in snaps]
+        )
+        assert 1.0 < a < 2.0
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            fit_densification([10], [20])
+        with pytest.raises(ValueError):
+            fit_densification([10, 10], [20, 30])
+        with pytest.raises(ValueError):
+            fit_densification([10, 0], [20, 30])
+
+
+class TestAverageDegree:
+    def test_value(self):
+        g = graph_from_edges(4, [(0, 1), (1, 2)])
+        assert average_degree(g) == pytest.approx(0.5)

@@ -1,0 +1,65 @@
+"""Tests for transition-matrix utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.graph import dangling_nodes, graph_from_edges, is_row_stochastic, row_normalize
+from repro.graph.transition import transition_power_step
+from tests.conftest import random_digraph_strategy
+
+
+class TestRowNormalize:
+    def test_self_loop_policy(self):
+        w = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        p = row_normalize(w)
+        assert p[0, 1] == 1.0
+        assert p[1, 1] == 1.0  # dangling row got a self-loop
+
+    def test_error_policy(self):
+        w = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="dangling"):
+            row_normalize(w, dangling="error")
+
+    def test_error_policy_ok_without_dangling(self):
+        w = sp.csr_matrix(np.array([[0.0, 2.0], [1.0, 0.0]]))
+        p = row_normalize(w, dangling="error")
+        assert is_row_stochastic(p)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown dangling policy"):
+            row_normalize(sp.csr_matrix((1, 1)), dangling="whatever")
+
+
+class TestDanglingNodes:
+    def test_detects(self):
+        g = graph_from_edges(3, [(0, 1)])
+        assert dangling_nodes(g).tolist() == [1, 2]
+
+    def test_none_when_all_have_out_edges(self, line_graph):
+        assert dangling_nodes(line_graph).size == 0
+
+
+class TestIsRowStochastic:
+    def test_true_for_transition(self, line_graph):
+        assert is_row_stochastic(line_graph.transition)
+
+    def test_false_for_raw_weights(self):
+        g = graph_from_edges(2, [(0, 1, 3.0), (1, 0, 3.0)])
+        assert not is_row_stochastic(g.weights)
+
+
+class TestPowerStep:
+    def test_distribution_preserved(self, line_graph):
+        dist = np.array([1.0, 0, 0, 0])
+        stepped = transition_power_step(line_graph.transition, dist)
+        assert stepped.sum() == pytest.approx(1.0)
+        assert stepped[1] == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_digraph_strategy())
+    def test_mass_conserved(self, g):
+        dist = np.full(g.n_nodes, 1.0 / g.n_nodes)
+        stepped = transition_power_step(g.transition, dist)
+        assert stepped.sum() == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""Cross-module integration tests: the full paper pipeline at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdamicAdarMeasure,
+    FRankMeasure,
+    RoundTripRankMeasure,
+    RoundTripRankPlusMeasure,
+    TRankMeasure,
+)
+from repro.core import frank_vector, roundtriprank, trank_vector
+from repro.distributed import SimulatedCluster
+from repro.eval import (
+    make_author_task,
+    make_equivalent_task,
+    make_url_task,
+    make_venue_task,
+    run_task_suite,
+    tune_beta,
+)
+from repro.graph import take_snapshots
+from repro.topk import naive_topk, twosbound_topk
+
+
+class TestEffectivenessPipeline:
+    """A miniature Fig. 5: RoundTripRank should be competitive everywhere."""
+
+    def test_roundtriprank_beats_mono_sensed_on_average(
+        self, small_bibnet, small_qlog
+    ):
+        tasks = [
+            make_author_task(small_bibnet, 25, seed=101),
+            make_venue_task(small_bibnet, 25, seed=102),
+            make_url_task(small_qlog, 25, seed=103),
+            make_equivalent_task(small_qlog, 25, seed=104),
+        ]
+        measures = [RoundTripRankMeasure(), FRankMeasure(), TRankMeasure()]
+        suite = run_task_suite(measures, tasks, (5,))
+        rtr = suite.average_ndcg("RoundTripRank", 5)
+        assert rtr >= suite.average_ndcg("F-Rank/PPR", 5) - 1e-9
+        assert rtr >= suite.average_ndcg("T-Rank", 5) - 1e-9
+
+    def test_task3_needs_importance_task4_needs_specificity(
+        self, small_qlog
+    ):
+        """The Fig. 8 direction: beta* < 0.5 on Task 3, beta* > 0.5 on Task 4."""
+        url_task = make_url_task(small_qlog, 30, seed=7)
+        eq_task = make_equivalent_task(small_qlog, 30, seed=8)
+        betas = (0.1, 0.3, 0.5, 0.7, 0.9)
+        best_url, _ = tune_beta(RoundTripRankPlusMeasure(), url_task, betas, k=5)
+        best_eq, _ = tune_beta(RoundTripRankPlusMeasure(), eq_task, betas, k=5)
+        assert best_url <= 0.5
+        assert best_eq >= 0.5
+
+
+class TestTopKPipeline:
+    def test_2sbound_reproduces_measure_ranking_on_task_graphs(self, small_bibnet):
+        """2SBound's top-K on a task's modified graph equals exact ranking."""
+        task = make_venue_task(small_bibnet, 3, seed=5)
+        for case in task.cases:
+            exact = naive_topk(
+                case.graph,
+                case.query,
+                5,
+                candidate_mask=case.candidate_mask,
+                exclude=case.excluded,
+            )
+            approx = twosbound_topk(
+                case.graph,
+                case.query,
+                5,
+                epsilon=1e-9,
+                candidate_mask=case.candidate_mask,
+                exclude=case.excluded,
+                max_rounds=10000,
+            )
+            assert approx.nodes == exact.nodes
+
+    def test_roundtriprank_function_consistent_with_measure(self, small_bibnet):
+        g = small_bibnet.graph
+        q = int(small_bibnet.paper_nodes[0])
+        from_measure = RoundTripRankMeasure().scores(g, q)
+        normalized = roundtriprank(g, q)
+        assert np.allclose(
+            from_measure / from_measure.sum(), normalized, atol=1e-9
+        )
+
+
+class TestScalabilityPipeline:
+    """A miniature Fig. 12/13: snapshots + cluster, active set grows slower."""
+
+    def test_active_set_grows_slower_than_snapshot(self, small_bibnet):
+        years = sorted(set(small_bibnet.node_timestamps.tolist()))
+        cutoffs = [years[len(years) // 2], years[-1]]
+        snaps = take_snapshots(
+            small_bibnet.graph, small_bibnet.node_timestamps, cutoffs
+        )
+        sizes = []
+        actives = []
+        for i, snap in enumerate(snaps):
+            cluster = SimulatedCluster(snap.graph, n_gps=i + 1)
+            rng = np.random.default_rng(42)
+            per_query = []
+            for q in rng.choice(snap.graph.n_nodes, 8, replace=False):
+                _, stats = cluster.query(int(q), 10, epsilon=0.01)
+                per_query.append(stats.active_set_bytes)
+            sizes.append(snap.size_bytes)
+            actives.append(float(np.mean(per_query)))
+        snapshot_growth = sizes[-1] / sizes[0]
+        active_growth = actives[-1] / actives[0]
+        assert active_growth < snapshot_growth
+
+    def test_distributed_equals_single_machine_on_snapshot(self, small_bibnet):
+        years = sorted(set(small_bibnet.node_timestamps.tolist()))
+        snap = take_snapshots(
+            small_bibnet.graph, small_bibnet.node_timestamps, [years[-2]]
+        )[0]
+        cluster = SimulatedCluster(snap.graph, n_gps=3)
+        q = 0
+        local = twosbound_topk(snap.graph, q, 10, epsilon=0.01)
+        remote, _ = cluster.query(q, 10, epsilon=0.01)
+        assert local.nodes == remote.nodes
+
+
+class TestMeasureFamilyCoherence:
+    """The paper-family measures agree with the core functions everywhere."""
+
+    def test_all_beta_extremes_on_task_graph(self, small_qlog):
+        task = make_url_task(small_qlog, 2, seed=9)
+        case = task.cases[0]
+        g, q = case.graph, case.query
+        f = frank_vector(g, q)
+        t = trank_vector(g, q)
+        assert np.array_equal(RoundTripRankPlusMeasure(beta=0.0).scores(g, q), f)
+        assert np.array_equal(RoundTripRankPlusMeasure(beta=1.0).scores(g, q), t)
+
+    def test_adamic_adar_zero_on_disconnected_truth(self, small_qlog):
+        """Removing the only 2-hop path makes AA blind — the Fig. 5 Task 3
+        phenomenon (AdamicAdar scores ~0)."""
+        task = make_url_task(small_qlog, 20, seed=10)
+        measure = AdamicAdarMeasure()
+        hits = 0
+        for case in task.cases:
+            scores = measure.scores(case.graph, case.query)
+            truth = next(iter(case.ground_truth))
+            if scores[truth] > 0:
+                hits += 1
+        # direct edges removed: AA can only score via surviving 2-hop paths,
+        # which are rare — most cases are blind.
+        assert hits <= len(task.cases) // 2

@@ -1,0 +1,126 @@
+"""Tests for the Bookmark-Coloring Algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import frank_vector
+from repro.topk import BCAState, LocalGraphAccess
+from tests.conftest import random_digraph_strategy
+
+
+def make_state(graph, query=0, alpha=0.25):
+    return BCAState(LocalGraphAccess(graph), query, alpha)
+
+
+class TestInvariants:
+    def test_initial_state(self, toy_graph):
+        s = make_state(toy_graph)
+        assert s.mu[0] == 1.0
+        assert s.total_residual == 1.0
+        assert s.rho.sum() == 0.0
+        assert not s.exhausted
+
+    def test_mass_conservation_during_run(self, toy_graph):
+        s = make_state(toy_graph, query=toy_graph.node_by_label("t1"))
+        for _ in range(50):
+            s.expand(3)
+            assert s.rho.sum() + s.mu.sum() == pytest.approx(1.0, abs=1e-9)
+            assert s.total_residual == pytest.approx(s.mu.sum(), abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8))
+    def test_rho_is_lower_bound_on_frank(self, g):
+        alpha = 0.25
+        exact = frank_vector(g, 0, alpha)
+        s = make_state(g, 0, alpha)
+        for _ in range(20):
+            s.expand(2)
+            assert np.all(s.rho <= exact + 1e-9)
+
+    def test_converges_to_frank(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        s = make_state(toy_graph, q)
+        s.run_to_tolerance(1e-10)
+        exact = frank_vector(toy_graph, q, 0.25)
+        assert np.allclose(s.rho, exact, atol=1e-9)
+
+    def test_max_residual_matches_mu(self, toy_graph):
+        s = make_state(toy_graph)
+        s.expand(2)
+        assert s.max_residual == pytest.approx(s.mu.max())
+
+
+class TestBenefitSelection:
+    def test_first_selection_is_query(self, toy_graph):
+        s = make_state(toy_graph, query=5)
+        assert s.select_best_benefit(3) == [5]
+
+    def test_orders_by_mu_over_degree(self):
+        from repro.graph import graph_from_edges
+
+        # query 0 spreads to 1 (degree 1) and 2 (degree 4) equally; node 1
+        # has the better benefit.
+        g = graph_from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 0), (2, 3), (2, 4), (2, 5), (2, 6)]
+            + [(3, 0), (4, 0), (5, 0), (6, 0)],
+        )
+        s = make_state(g, 0)
+        s.expand(1)  # processes the query
+        picks = s.select_best_benefit(2)
+        assert picks[0] == 1
+        assert picks[1] == 2
+
+    def test_select_does_not_mutate(self, toy_graph):
+        s = make_state(toy_graph)
+        before = s.mu.copy()
+        s.select_best_benefit(5)
+        assert np.array_equal(before, s.mu)
+
+
+class TestProcess:
+    def test_process_drains_node(self, toy_graph):
+        s = make_state(toy_graph)
+        s.process(0)
+        assert s.mu[0] == 0.0
+        assert s.rho[0] == pytest.approx(0.25)
+
+    def test_process_spreads_to_neighbors(self, toy_graph):
+        s = make_state(toy_graph)
+        s.process(0)
+        neighbors, probs = toy_graph.out_edges(0)
+        assert np.allclose(s.mu[neighbors], 0.75 * probs)
+
+    def test_process_drained_node_noop(self, toy_graph):
+        s = make_state(toy_graph)
+        s.process(0)
+        rho_before = s.rho.copy()
+        s.process(0)
+        assert np.array_equal(s.rho, rho_before)
+
+    def test_self_loop_handled(self):
+        from repro.graph import graph_from_edges
+
+        # node 0 has an explicit self-loop and an exit edge
+        g = graph_from_edges(2, [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)])
+        s = make_state(g, 0)
+        s.process(0)
+        # half of the spread mass returns to node 0 itself
+        assert s.mu[0] == pytest.approx(0.75 / 2)
+        assert s.rho.sum() + s.mu.sum() == pytest.approx(1.0)
+
+    def test_run_to_tolerance_guard(self, toy_graph):
+        s = make_state(toy_graph)
+        with pytest.raises(RuntimeError):
+            s.run_to_tolerance(0.0, max_steps=3)
+
+
+class TestValidation:
+    def test_bad_query(self, toy_graph):
+        with pytest.raises(ValueError):
+            make_state(toy_graph, query=99)
+
+    def test_bad_alpha(self, toy_graph):
+        with pytest.raises(ValueError):
+            make_state(toy_graph, alpha=0.0)

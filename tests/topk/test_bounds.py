@@ -1,0 +1,69 @@
+"""Tests for the Eq. 15–16 bounds decomposition."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import frank_vector, trank_vector
+from repro.topk import FBoundSide, LocalGraphAccess, TBoundSide, combine_bounds
+from tests.conftest import random_digraph_strategy
+
+
+def build_sides(graph, query, alpha=0.25, rounds=5):
+    access = LocalGraphAccess(graph)
+    f_side = FBoundSide(access, query, alpha, m=2)
+    t_side = TBoundSide(access, query, alpha, m=2)
+    for _ in range(rounds):
+        f_side.expand()
+        f_side.refine()
+        t_side.expand()
+        t_side.refine()
+    return f_side, t_side
+
+
+class TestCombine:
+    def test_s_is_intersection(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        f_side, t_side = build_sides(toy_graph, q, rounds=3)
+        combined = combine_bounds(f_side, t_side)
+        expected = np.flatnonzero(f_side.seen & t_side.seen)
+        assert np.array_equal(combined.nodes, expected)
+
+    def test_eq15_products(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        f_side, t_side = build_sides(toy_graph, q, rounds=3)
+        combined = combine_bounds(f_side, t_side)
+        assert np.allclose(
+            combined.lower, f_side.lower[combined.nodes] * t_side.lower[combined.nodes]
+        )
+        assert np.allclose(
+            combined.upper, f_side.upper[combined.nodes] * t_side.upper[combined.nodes]
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8))
+    def test_combined_bounds_sound(self, g):
+        """Eq. 15 bounds contain exact r; Eq. 16 covers all nodes outside S."""
+        alpha = 0.25
+        exact = frank_vector(g, 0, alpha) * trank_vector(g, 0, alpha)
+        f_side, t_side = build_sides(g, 0, alpha, rounds=4)
+        combined = combine_bounds(f_side, t_side)
+        in_s = np.zeros(g.n_nodes, dtype=bool)
+        in_s[combined.nodes] = True
+        assert np.all(combined.lower <= exact[combined.nodes] + 1e-9)
+        assert np.all(combined.upper >= exact[combined.nodes] - 1e-9)
+        if (~in_s).any():
+            assert exact[~in_s].max() <= combined.unseen_upper + 1e-9
+
+    def test_eq16_half_seen_terms_matter(self, toy_graph):
+        """Unseen bound must cover Sf-only and St-only nodes explicitly."""
+        q = toy_graph.node_by_label("t1")
+        f_side, t_side = build_sides(toy_graph, q, rounds=1)
+        combined = combine_bounds(f_side, t_side)
+        f_only = f_side.seen & ~t_side.seen
+        if f_only.any():
+            required = f_side.upper[f_only].max() * t_side.unseen_upper
+            assert combined.unseen_upper >= required - 1e-15
+        t_only = t_side.seen & ~f_side.seen
+        if t_only.any():
+            required = f_side.unseen_upper * t_side.upper[t_only].max()
+            assert combined.unseen_upper >= required - 1e-15

@@ -1,0 +1,105 @@
+"""Tests for the f-side bound machinery (Prop. 4 + Stage II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import frank_vector
+from repro.topk import FBoundSide, LocalGraphAccess
+from tests.conftest import random_digraph_strategy
+
+
+def run_side(graph, query, alpha=0.25, rounds=30, **kwargs):
+    side = FBoundSide(LocalGraphAccess(graph), query, alpha, m=2, **kwargs)
+    history = []
+    for _ in range(rounds):
+        side.expand()
+        side.refine()
+        history.append((side.unseen_upper, side.lower.copy(), side.upper.copy()))
+        if side.exhausted:
+            break
+    return side, history
+
+
+class TestBoundSoundness:
+    @settings(max_examples=20, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8))
+    def test_bounds_sandwich_exact_frank(self, g):
+        alpha = 0.25
+        exact = frank_vector(g, 0, alpha)
+        side, history = run_side(g, 0, alpha, rounds=25)
+        seen = side.seen_nodes()
+        assert np.all(side.lower[seen] <= exact[seen] + 1e-9)
+        assert np.all(side.upper[seen] >= exact[seen] - 1e-9)
+        if (~side.seen).any():
+            assert exact[~side.seen].max() <= side.unseen_upper + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_digraph_strategy(max_nodes=8))
+    def test_gupta_bounds_also_sound_but_looser(self, g):
+        alpha = 0.25
+        exact = frank_vector(g, 0, alpha)
+        prop4, _ = run_side(g, 0, alpha, rounds=6, bound_style="prop4")
+        gupta, _ = run_side(g, 0, alpha, rounds=6, bound_style="gupta", refine="off")
+        seen = gupta.seen_nodes()
+        assert np.all(gupta.lower[seen] <= exact[seen] + 1e-9)
+        assert np.all(gupta.upper[seen] >= exact[seen] - 1e-9)
+        # the Prop. 4 unseen bound is at least as tight (when neither side
+        # is self-loop-disabled, which random graphs may be — compare only
+        # when discounting applies)
+        if not LocalGraphAccess(g).has_self_loops:
+            assert prop4.unseen_upper <= gupta.unseen_upper + 1e-12
+
+
+class TestMonotonicity:
+    def test_bounds_only_tighten(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        side = FBoundSide(LocalGraphAccess(toy_graph), q, 0.25, m=2)
+        prev_lower = side.lower.copy()
+        prev_upper = side.upper.copy()
+        prev_unseen = side.unseen_upper
+        for _ in range(30):
+            side.expand()
+            side.refine()
+            assert np.all(side.lower >= prev_lower - 1e-12)
+            assert np.all(side.upper <= prev_upper + 1e-12)
+            assert side.unseen_upper <= prev_unseen + 1e-12
+            prev_lower = side.lower.copy()
+            prev_upper = side.upper.copy()
+            prev_unseen = side.unseen_upper
+
+
+class TestConvergence:
+    def test_exhaustion_gives_exact_values(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        side, _ = run_side(toy_graph, q, rounds=500)
+        assert side.exhausted
+        side.finalize()
+        exact = frank_vector(toy_graph, q, 0.25)
+        seen = side.seen_nodes()
+        assert np.allclose(side.lower[seen], exact[seen], atol=1e-8)
+        assert np.allclose(side.upper[seen], exact[seen], atol=1e-8)
+
+    def test_refine_off_skips(self, toy_graph):
+        side = FBoundSide(LocalGraphAccess(toy_graph), 0, 0.25, m=2, refine="off")
+        side.expand()
+        assert side.refine() == 0
+
+    def test_refine_single_runs_one_sweep(self, toy_graph):
+        side = FBoundSide(LocalGraphAccess(toy_graph), 0, 0.25, m=2, refine="single")
+        side.expand()
+        assert side.refine() <= 1
+
+
+class TestValidation:
+    def test_bad_bound_style(self, toy_graph):
+        with pytest.raises(ValueError, match="bound_style"):
+            FBoundSide(LocalGraphAccess(toy_graph), 0, 0.25, bound_style="x")
+
+    def test_bad_refine(self, toy_graph):
+        with pytest.raises(ValueError, match="refine"):
+            FBoundSide(LocalGraphAccess(toy_graph), 0, 0.25, refine="x")
+
+    def test_bad_m(self, toy_graph):
+        with pytest.raises(ValueError, match="m must be"):
+            FBoundSide(LocalGraphAccess(toy_graph), 0, 0.25, m=0)

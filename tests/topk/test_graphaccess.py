@@ -1,0 +1,76 @@
+"""Tests for the graph-access layer."""
+
+import numpy as np
+
+from repro.graph import DiGraph, graph_from_edges
+from repro.topk import InstrumentedGraphAccess, LocalGraphAccess
+
+
+class TestLocalAccess:
+    def test_matches_digraph(self, toy_graph):
+        access = LocalGraphAccess(toy_graph)
+        assert access.n_nodes == toy_graph.n_nodes
+        for v in range(toy_graph.n_nodes):
+            n1, p1 = access.out_edges(v)
+            n2, p2 = toy_graph.out_edges(v)
+            assert np.array_equal(n1, n2) and np.array_equal(p1, p2)
+            m1, q1 = access.in_edges(v)
+            m2, q2 = toy_graph.in_edges(v)
+            assert np.array_equal(m1, m2) and np.array_equal(q1, q2)
+            assert access.out_degree(v) == len(toy_graph.out_neighbors(v))
+
+    def test_bulk_degrees(self, toy_graph):
+        access = LocalGraphAccess(toy_graph)
+        nodes = np.array([0, 3, 5])
+        assert np.array_equal(
+            access.out_degrees(nodes), toy_graph.out_degrees[nodes]
+        )
+
+    def test_self_loop_detection(self):
+        clean = LocalGraphAccess(graph_from_edges(2, [(0, 1), (1, 0)]))
+        assert not clean.has_self_loops
+        dangling = LocalGraphAccess(graph_from_edges(2, [(0, 1)]))
+        assert dangling.has_self_loops  # dangling convention adds one
+        explicit = LocalGraphAccess(graph_from_edges(2, [(0, 0), (0, 1), (1, 0)]))
+        assert explicit.has_self_loops
+
+    def test_prefetch_noop(self, toy_graph):
+        access = LocalGraphAccess(toy_graph)
+        access.prefetch(np.array([0, 1]))  # must not raise
+
+
+class TestInstrumentedAccess:
+    def test_accounting_grows_with_fetches(self, toy_graph):
+        access = InstrumentedGraphAccess(LocalGraphAccess(toy_graph))
+        assert access.active_node_count == 0
+        access.out_edges(0)
+        first = access.active_node_count
+        assert first >= 1
+        access.out_edges(0)  # repeat: no growth
+        assert access.active_node_count == first
+        access.in_edges(3)
+        assert access.active_node_count >= first
+
+    def test_arc_count(self, toy_graph):
+        access = InstrumentedGraphAccess(LocalGraphAccess(toy_graph))
+        neighbors, _ = access.out_edges(0)
+        assert access.active_arc_count == neighbors.size
+
+    def test_bytes_model(self, toy_graph):
+        access = InstrumentedGraphAccess(LocalGraphAccess(toy_graph))
+        access.out_edges(0)
+        expected = (
+            access.active_node_count * DiGraph.NODE_BYTES
+            + access.active_arc_count * DiGraph.ARC_BYTES
+        )
+        assert access.active_set_bytes == expected
+
+    def test_passthrough_values(self, toy_graph):
+        inner = LocalGraphAccess(toy_graph)
+        access = InstrumentedGraphAccess(inner)
+        assert access.n_nodes == inner.n_nodes
+        assert access.has_self_loops == inner.has_self_loops
+        assert access.out_degree(0) == inner.out_degree(0)
+        n1, _ = access.out_edges(2)
+        n2, _ = inner.out_edges(2)
+        assert np.array_equal(n1, n2)

@@ -1,0 +1,38 @@
+"""Tests for the Fig. 11(a) scheme configurations."""
+
+import pytest
+
+from repro.topk import SCHEMES, SchemeConfig
+
+
+class TestSchemeConfig:
+    def test_2sbound_is_full_machinery(self):
+        c = SchemeConfig.from_name("2sbound")
+        assert c.f_bound_style == "prop4"
+        assert c.f_refine == "fixpoint"
+        assert c.t_refine == "fixpoint"
+
+    def test_gs_weakens_both_sides(self):
+        c = SchemeConfig.from_name("g+s")
+        assert c.f_bound_style == "gupta"
+        assert c.f_refine == "off"
+        assert c.t_refine == "single"
+
+    def test_gupta_keeps_our_t_side(self):
+        c = SchemeConfig.from_name("gupta")
+        assert c.f_bound_style == "gupta"
+        assert c.t_refine == "fixpoint"
+
+    def test_sarkar_keeps_our_f_side(self):
+        c = SchemeConfig.from_name("sarkar")
+        assert c.f_bound_style == "prop4"
+        assert c.f_refine == "fixpoint"
+        assert c.t_refine == "single"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            SchemeConfig.from_name("magic")
+
+    def test_all_declared_schemes_resolve(self):
+        for name in SCHEMES:
+            assert isinstance(SchemeConfig.from_name(name), SchemeConfig)

@@ -1,0 +1,109 @@
+"""Tests for the addressable max-heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heap import AddressableMaxHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 3.0)
+        heap.push("c", 2.0)
+        assert heap.pop() == ("b", 3.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_update_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.push("a", 5.0)  # update
+        assert len(heap) == 2
+        assert heap.pop() == ("a", 5.0)
+
+    def test_remove(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.remove("b")
+        assert "b" not in heap
+        assert heap.pop() == ("a", 1.0)
+
+    def test_remove_missing_raises(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(KeyError):
+            heap.remove("ghost")
+
+    def test_priority_lookup(self):
+        heap = AddressableMaxHeap()
+        heap.push(42, 7.5)
+        assert heap.priority(42) == 7.5
+        with pytest.raises(KeyError):
+            heap.priority(43)
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableMaxHeap()
+        heap.push("x", 1.0)
+        assert heap.peek() == ("x", 1.0)
+        assert len(heap) == 1
+
+    def test_pop_empty_raises(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_pop_many(self):
+        heap = AddressableMaxHeap()
+        for i in range(5):
+            heap.push(i, float(i))
+        popped = heap.pop_many(3)
+        assert [item for item, _ in popped] == [4, 3, 2]
+        assert len(heap) == 2
+
+    def test_pop_many_exceeding_size(self):
+        heap = AddressableMaxHeap()
+        heap.push("only", 1.0)
+        assert len(heap.pop_many(10)) == 1
+
+    def test_contains_and_iter(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert set(iter(heap)) == {"a", "b"}
+        assert "a" in heap
+
+    def test_stale_entries_skipped_after_update(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 10.0)
+        heap.push("a", 0.5)
+        heap.push("b", 1.0)
+        # the stale (a, 10.0) entry must not win
+        assert heap.pop() == ("b", 1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20), st.floats(0, 100)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_heap_matches_dict_semantics(ops):
+    """Pushing (item, priority) pairs then draining equals sorting the dict."""
+    heap = AddressableMaxHeap()
+    state: dict[int, float] = {}
+    for item, priority in ops:
+        heap.push(item, priority)
+        state[item] = priority
+    drained = []
+    while len(heap):
+        drained.append(heap.pop())
+    expected = sorted(state.items(), key=lambda kv: -kv[1])
+    assert [p for _, p in drained] == [p for _, p in expected]
+    assert {i for i, _ in drained} == set(state)

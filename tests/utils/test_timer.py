@@ -1,0 +1,29 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+from repro.utils.timer import Timer
+
+
+def test_measures_elapsed_time():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.01
+    assert t.elapsed < 1.0
+
+
+def test_elapsed_ms():
+    with Timer() as t:
+        pass
+    assert t.elapsed_ms == t.elapsed * 1000.0
+
+
+def test_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        time.sleep(0.005)
+    assert t.elapsed >= 0.005
+    assert t.elapsed != first or t.elapsed >= 0.005
