@@ -13,6 +13,13 @@ Quickstart::
     graph = toy_bibliographic_graph()
     scores = roundtriprank(graph, graph.node_by_label("t1"))
 
+Serving many queries?  The batch engine computes an ``n x q`` column stack
+in one multi-column power iteration instead of ``q`` separate solves::
+
+    from repro.engine import roundtriprank_batch
+
+    columns = roundtriprank_batch(graph, [q1, q2, q3])
+
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
@@ -28,6 +35,13 @@ from repro.core import (
     roundtriprank_plus,
     trank_vector,
 )
+from repro.engine import (
+    WalkEngine,
+    frank_batch,
+    roundtriprank_batch,
+    roundtriprank_plus_batch,
+    trank_batch,
+)
 from repro.graph import DiGraph, GraphBuilder
 
 __all__ = [
@@ -37,8 +51,13 @@ __all__ = [
     "HybridSurfers",
     "DiGraph",
     "GraphBuilder",
+    "WalkEngine",
     "frank_vector",
     "trank_vector",
     "roundtriprank",
     "roundtriprank_plus",
+    "frank_batch",
+    "trank_batch",
+    "roundtriprank_batch",
+    "roundtriprank_plus_batch",
 ]

@@ -10,6 +10,7 @@
 
 from repro.core.frank import (
     DEFAULT_ALPHA,
+    ConvergenceWarning,
     frank_constant_length,
     frank_vector,
     power_iteration,
@@ -41,6 +42,7 @@ from repro.core.trank import inverse_ppr, trank_constant_length, trank_vector
 __all__ = [
     "DEFAULT_ALPHA",
     "DEFAULT_BETA",
+    "ConvergenceWarning",
     "Query",
     "HybridSurfers",
     "frank_vector",

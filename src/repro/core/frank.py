@@ -19,6 +19,8 @@ contraction in L1, power iteration converges geometrically.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -29,18 +31,28 @@ from repro.utils.validation import check_in_range, check_positive
 DEFAULT_ALPHA = 0.25  # the paper's setting throughout Sect. VI
 
 
+class ConvergenceWarning(RuntimeWarning):
+    """Power iteration exhausted ``max_iter`` before the residual fell below ``tol``."""
+
+
 def power_iteration(
     operator: sp.spmatrix,
     teleport: np.ndarray,
     alpha: float,
     tol: float = 1e-12,
     max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
 ) -> np.ndarray:
     """Solve ``x = alpha * teleport + (1 - alpha) * operator @ x`` by iteration.
 
     Shared by F-Rank (``operator = P^T``) and T-Rank (``operator = P``).
     Converges for any row-/column-substochastic operator because the update
     is an L1 contraction with factor ``1 - alpha``.
+
+    If ``max_iter`` is exhausted while the L1 residual is still >= ``tol``,
+    a :class:`ConvergenceWarning` is emitted (pass
+    ``warn_on_nonconvergence=False`` to opt out) and the last iterate is
+    returned as-is, so callers can detect and handle non-convergence.
     """
     alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
     check_positive(tol, "tol")
@@ -49,12 +61,20 @@ def power_iteration(
     x = alpha * teleport
     base = alpha * teleport
     damp = 1.0 - alpha
+    delta = np.inf
     for _ in range(max_iter):
         x_next = base + damp * (operator @ x)
         delta = float(np.abs(x_next - x).sum())
         x = x_next
         if delta < tol:
             break
+    if warn_on_nonconvergence and delta >= tol:
+        warnings.warn(
+            f"power iteration did not converge within max_iter={max_iter} "
+            f"(final residual {delta:.3e} >= tol={tol:g})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
     return x
 
 
@@ -64,15 +84,21 @@ def frank_vector(
     alpha: float = DEFAULT_ALPHA,
     tol: float = 1e-12,
     max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
 ) -> np.ndarray:
     """F-Rank of every node for ``query`` (== Personalized PageRank).
 
     Returns a dense vector ``f`` with ``f[v] = f(q, v)``; entries are
-    non-negative and sum to one.
+    non-negative and sum to one.  For many queries at once use
+    :func:`repro.engine.frank_batch`, which runs a single multi-column
+    power iteration instead of one solve per query.
     """
     s = teleport_vector(graph, query)
     p_t = graph.transition.T.tocsr()
-    return power_iteration(p_t, s, alpha, tol=tol, max_iter=max_iter)
+    return power_iteration(
+        p_t, s, alpha, tol=tol, max_iter=max_iter,
+        warn_on_nonconvergence=warn_on_nonconvergence,
+    )
 
 
 def frank_constant_length(graph: DiGraph, query: Query, length: int) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Monte Carlo random-walk engine.
+"""Monte Carlo random-walk estimators.
 
 Simulates the paper's walk semantics directly — geometric-length trips
 (Sect. III-A) and round trips (Definition 1) — providing an independent,
@@ -8,8 +8,13 @@ model-free estimator used to validate:
 - Definition 2 / Proposition 2: conditional round-trip target probabilities
   equal the normalized product ``f * t``.
 
-Walk sampling is alias-free (``rng.choice`` over per-node out-probabilities)
-and deliberately simple: correctness oracle first, speed second.
+The estimators sample through the vectorized
+:class:`repro.engine.walks.WalkEngine` — all active walkers advance
+simultaneously with one ``searchsorted`` per step — so they are fast enough
+to double as serving-path approximators, not just validation oracles.  The
+original step-at-a-time path (:func:`walk_steps`, one ``rng.choice`` per
+step) is retained as the readable reference implementation that the engine
+is statistically tested against.
 """
 
 from __future__ import annotations
@@ -17,16 +22,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.frank import DEFAULT_ALPHA
+from repro.engine.walks import get_walk_engine, sample_geometric_lengths
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_range, check_node_id
+
+#: Cap on simultaneous walkers per vectorized block, bounding the working
+#: set of the all-sources T-Rank estimator on large graphs.
+MAX_CONCURRENT_WALKERS = 1 << 18
 
 
 def sample_geometric_length(alpha: float, rng: np.random.Generator) -> int:
     """Sample ``L ~ Geo(alpha)`` with ``p(L = l) = (1 - alpha)^l * alpha``.
 
     This is the number of *failures* before the first success, i.e. the
-    support starts at 0 (a zero-length trip stays at the query).
+    support starts at 0 (a zero-length trip stays at the query).  The
+    batched counterpart is
+    :func:`repro.engine.walks.sample_geometric_lengths`.
     """
     # numpy's geometric counts trials to first success (support >= 1).
     return int(rng.geometric(alpha)) - 1
@@ -36,6 +48,8 @@ def walk_steps(graph: DiGraph, start: int, n_steps: int, rng: np.random.Generato
     """Walk ``n_steps`` random steps from ``start``; returns all visited nodes.
 
     The returned list has ``n_steps + 1`` entries beginning with ``start``.
+    This is the loop-based reference sampler; the estimators below use the
+    vectorized engine instead and are tested to agree with walks drawn here.
     """
     path = [start]
     node = start
@@ -44,6 +58,28 @@ def walk_steps(graph: DiGraph, start: int, n_steps: int, rng: np.random.Generato
         node = int(rng.choice(neighbors, p=probs))
         path.append(node)
     return path
+
+
+def _check_mc_args(alpha: float, n_samples: int) -> None:
+    """Shared estimator validation: ``alpha`` in (0, 1), ``n_samples`` > 0."""
+    check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+
+
+def _chunked_trip_counts(engine, start, alpha, n_samples, rng, n_nodes):
+    """Histogram of geometric-trip terminals from ``start``, in capped blocks.
+
+    Splits ``n_samples`` walks into blocks of at most
+    :data:`MAX_CONCURRENT_WALKERS` so the vectorized working set stays
+    bounded no matter how many samples are requested.
+    """
+    counts = np.zeros(n_nodes, dtype=np.int64)
+    for lo in range(0, n_samples, MAX_CONCURRENT_WALKERS):
+        block = min(MAX_CONCURRENT_WALKERS, n_samples - lo)
+        terminals = engine.sample_trip_terminals(start, alpha, block, rng)
+        counts += np.bincount(terminals, minlength=n_nodes)
+    return counts
 
 
 def estimate_frank_mc(
@@ -55,16 +91,11 @@ def estimate_frank_mc(
 ) -> np.ndarray:
     """Monte Carlo F-Rank: empirical distribution of trip targets (Eq. 1)."""
     query = check_node_id(query, graph.n_nodes, "query")
-    check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
-    if n_samples <= 0:
-        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    _check_mc_args(alpha, n_samples)
     rng = ensure_rng(seed)
-    counts = np.zeros(graph.n_nodes)
-    for _ in range(n_samples):
-        length = sample_geometric_length(alpha, rng)
-        target = walk_steps(graph, query, length, rng)[-1]
-        counts[target] += 1
-    return counts / n_samples
+    engine = get_walk_engine(graph)
+    counts = _chunked_trip_counts(engine, query, alpha, n_samples, rng, graph.n_nodes)
+    return counts.astype(np.float64) / n_samples
 
 
 def estimate_trank_mc(
@@ -77,21 +108,34 @@ def estimate_trank_mc(
 ) -> np.ndarray:
     """Monte Carlo T-Rank: fraction of walks from each source ending at ``query``.
 
-    ``sources=None`` estimates for every node (expensive on large graphs).
+    ``sources=None`` estimates for every node (expensive on large graphs);
+    walker blocks are capped at :data:`MAX_CONCURRENT_WALKERS` to bound
+    memory, so arbitrarily many sources stream through in chunks.
     """
     query = check_node_id(query, graph.n_nodes, "query")
+    _check_mc_args(alpha, n_samples)
     rng = ensure_rng(seed)
+    engine = get_walk_engine(graph)
     if sources is None:
         sources = np.arange(graph.n_nodes)
     sources = np.asarray(sources, dtype=np.int64)
     result = np.zeros(graph.n_nodes)
-    for src in sources.tolist():
-        hits = 0
-        for _ in range(n_samples):
-            length = sample_geometric_length(alpha, rng)
-            if walk_steps(graph, src, length, rng)[-1] == query:
-                hits += 1
-        result[src] = hits / n_samples
+    if n_samples > MAX_CONCURRENT_WALKERS:
+        # One source at a time, its samples themselves split into blocks.
+        for src in sources.tolist():
+            counts = _chunked_trip_counts(
+                engine, int(src), alpha, n_samples, rng, graph.n_nodes
+            )
+            result[src] = counts[query] / n_samples
+        return result
+    chunk = max(1, MAX_CONCURRENT_WALKERS // n_samples)
+    for lo in range(0, sources.size, chunk):
+        block = sources[lo : lo + chunk]
+        starts = np.repeat(block, n_samples)
+        lengths = sample_geometric_lengths(alpha, starts.size, rng)
+        terminals = engine.walk_terminals(starts, lengths, rng)
+        hits = (terminals.reshape(block.size, n_samples) == query).sum(axis=1)
+        result[block] = hits / n_samples
     return result
 
 
@@ -106,6 +150,8 @@ def estimate_roundtrip_mc(
 
     Samples round trips (``L + L'`` steps with i.i.d. geometric lengths),
     keeps those that return to the query, and histograms their targets.
+    Walks are Markovian, so each round trip is sampled as an out-leg to the
+    target followed by an independent return leg from it.
 
     Returns ``(estimated_r, n_completed)`` where ``estimated_r`` is the
     conditional target distribution (sums to one when any trip completed)
@@ -113,16 +159,21 @@ def estimate_roundtrip_mc(
     it is large enough for the estimate to be meaningful.
     """
     query = check_node_id(query, graph.n_nodes, "query")
+    _check_mc_args(alpha, n_samples)
     rng = ensure_rng(seed)
+    engine = get_walk_engine(graph)
     counts = np.zeros(graph.n_nodes)
     completed = 0
-    for _ in range(n_samples):
-        length_out = sample_geometric_length(alpha, rng)
-        length_back = sample_geometric_length(alpha, rng)
-        path = walk_steps(graph, query, length_out + length_back, rng)
-        if path[-1] == query:
-            counts[path[length_out]] += 1
-            completed += 1
+    for lo in range(0, n_samples, MAX_CONCURRENT_WALKERS):
+        block = min(MAX_CONCURRENT_WALKERS, n_samples - lo)
+        lengths_out = sample_geometric_lengths(alpha, block, rng)
+        lengths_back = sample_geometric_lengths(alpha, block, rng)
+        starts = np.full(block, query, dtype=np.int64)
+        targets = engine.walk_terminals(starts, lengths_out, rng)
+        ends = engine.walk_terminals(targets, lengths_back, rng)
+        accepted = ends == query
+        completed += int(accepted.sum())
+        counts += np.bincount(targets[accepted], minlength=graph.n_nodes)
     if completed:
         counts /= completed
     return counts, completed

@@ -27,11 +27,13 @@ validate Proposition 2 and to regenerate the paper's Fig. 4 table.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.frank import DEFAULT_ALPHA, frank_constant_length, frank_vector
+from repro.core.frank import DEFAULT_ALPHA, frank_constant_length
 from repro.core.queries import Query, normalize_query
-from repro.core.trank import trank_constant_length, trank_vector
+from repro.core.trank import trank_constant_length
 from repro.graph.digraph import DiGraph
 
 
@@ -46,24 +48,31 @@ def roundtriprank(
     """RoundTripRank of every node for ``query`` (Definition 2 / Prop. 2).
 
     With ``normalize=True`` (default) the vector sums to one and equals the
-    conditional probability of Definition 2; with ``normalize=False`` it is
-    the rank-equivalent product ``f * t`` of Proposition 2.
+    conditional probability of Definition 2 — *provided the total round-trip
+    mass is positive*.  If every ``f * t`` product is zero (possible only in
+    degenerate constructions; a valid query always holds ``f[q] >= alpha``
+    and ``t[q] >= alpha``), no distribution exists: the all-zeros vector is
+    returned and a ``RuntimeWarning`` is emitted rather than silently
+    violating the sums-to-one contract.  With ``normalize=False`` the result
+    is the rank-equivalent product ``f * t`` of Proposition 2.
 
     Multi-node queries combine linearly: a round trip starts at a query node
     drawn from the query weights and must return to that same node, so the
     unnormalized score is the weighted sum of per-node ``f * t`` products.
+
+    This is a thin wrapper over :func:`repro.engine.roundtriprank_batch`
+    with a single column; use the batch form to serve many queries per
+    power iteration.
     """
-    nodes, weights = normalize_query(graph, query)
-    scores = np.zeros(graph.n_nodes)
-    for node, weight in zip(nodes.tolist(), weights.tolist()):
-        f = frank_vector(graph, node, alpha, tol=tol, max_iter=max_iter)
-        t = trank_vector(graph, node, alpha, tol=tol, max_iter=max_iter)
-        scores += weight * f * t
-    if normalize:
-        total = scores.sum()
-        if total > 0:
-            scores = scores / total
-    return scores
+    from repro.engine.batch import roundtriprank_batch
+
+    # method="power" keeps the single-query result bit-identical to the
+    # historical per-node power iteration; the accelerated path is for
+    # multi-query batches.
+    return roundtriprank_batch(
+        graph, [query], alpha, normalize=normalize, tol=tol, max_iter=max_iter,
+        method="power",
+    )[:, 0]
 
 
 def roundtriprank_constant_length(
@@ -77,6 +86,12 @@ def roundtriprank_constant_length(
 
     ``r(q, v) \\propto p(W_L = v | W_0 = q) * p(W_{L'} = q | W_0 = v)`` with
     ``L = length_out`` and ``L' = length_back`` fixed.
+
+    Unlike the geometric-length measure, constant lengths *can* yield zero
+    total mass on directed graphs with no return path of exactly
+    ``length_back`` steps; with ``normalize=True`` that case returns the
+    all-zeros vector and emits a ``RuntimeWarning`` (the sums-to-one
+    contract cannot hold).
     """
     nodes, weights = normalize_query(graph, query)
     scores = np.zeros(graph.n_nodes)
@@ -88,6 +103,13 @@ def roundtriprank_constant_length(
         total = scores.sum()
         if total > 0:
             scores = scores / total
+        else:
+            warnings.warn(
+                "roundtriprank_constant_length: total round-trip mass is zero; "
+                "returning the all-zeros vector, not a distribution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return scores
 
 

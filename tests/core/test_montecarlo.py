@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    estimate_frank_mc,
     estimate_roundtrip_mc,
+    estimate_trank_mc,
     roundtriprank,
     sample_geometric_length,
     walk_steps,
@@ -69,3 +71,72 @@ class TestRoundTripMC:
     def test_validation(self, toy_graph):
         with pytest.raises(ValueError):
             estimate_roundtrip_mc(toy_graph, 99)
+
+
+class TestEstimatorValidation:
+    """All three estimators share the same argument checks."""
+
+    def test_frank_rejects_bad_args(self, toy_graph):
+        with pytest.raises(ValueError, match="alpha"):
+            estimate_frank_mc(toy_graph, 0, alpha=1.5)
+        with pytest.raises(ValueError, match="n_samples"):
+            estimate_frank_mc(toy_graph, 0, n_samples=0)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_trank_rejects_bad_alpha(self, toy_graph, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            estimate_trank_mc(toy_graph, 0, alpha=alpha)
+
+    def test_trank_rejects_bad_n_samples(self, toy_graph):
+        with pytest.raises(ValueError, match="n_samples"):
+            estimate_trank_mc(toy_graph, 0, n_samples=0)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_roundtrip_rejects_bad_alpha(self, toy_graph, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            estimate_roundtrip_mc(toy_graph, 0, alpha=alpha)
+
+    def test_roundtrip_rejects_bad_n_samples(self, toy_graph):
+        with pytest.raises(ValueError, match="n_samples"):
+            estimate_roundtrip_mc(toy_graph, 0, n_samples=-5)
+
+
+class TestWalkerCap:
+    """All estimators keep the vectorized working set under the cap."""
+
+    def test_chunked_sources_cover_all(self, toy_graph, monkeypatch):
+        import repro.core.montecarlo as mc
+
+        # Force tiny blocks so the chunk loop runs more than once.
+        monkeypatch.setattr(mc, "MAX_CONCURRENT_WALKERS", 64)
+        result = mc.estimate_trank_mc(toy_graph, 0, alpha=0.25, n_samples=50, seed=4)
+        assert result.shape == (toy_graph.n_nodes,)
+        assert result[0] > 0  # the query itself always has t >= alpha
+
+    def test_trank_n_samples_above_cap(self, toy_graph, monkeypatch):
+        import repro.core.montecarlo as mc
+
+        # n_samples > cap takes the per-source sample-chunked branch.
+        monkeypatch.setattr(mc, "MAX_CONCURRENT_WALKERS", 32)
+        result = mc.estimate_trank_mc(
+            toy_graph, 0, sources=[0, 3], alpha=0.25, n_samples=100, seed=4
+        )
+        assert result[0] > 0
+        assert result.sum() == result[0] + result[3]
+
+    def test_frank_n_samples_above_cap(self, toy_graph, monkeypatch):
+        import repro.core.montecarlo as mc
+
+        monkeypatch.setattr(mc, "MAX_CONCURRENT_WALKERS", 32)
+        est = mc.estimate_frank_mc(toy_graph, 0, alpha=0.25, n_samples=100, seed=4)
+        assert est.sum() == pytest.approx(1.0)
+
+    def test_roundtrip_n_samples_above_cap(self, toy_graph, monkeypatch):
+        import repro.core.montecarlo as mc
+
+        monkeypatch.setattr(mc, "MAX_CONCURRENT_WALKERS", 32)
+        est, completed = mc.estimate_roundtrip_mc(
+            toy_graph, 0, alpha=0.25, n_samples=200, seed=4
+        )
+        assert completed > 0
+        assert est.sum() == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Tests for the vectorized walk engine and its agreement with the loop path."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_frank_mc,
+    frank_vector,
+    sample_geometric_length,
+    walk_steps,
+)
+from repro.engine import WalkEngine, get_walk_engine, sample_geometric_lengths
+from repro.graph import graph_from_edges
+from repro.utils.rng import ensure_rng
+
+
+class TestSampleGeometricLengths:
+    def test_matches_scalar_distribution(self):
+        rng = ensure_rng(3)
+        alpha = 0.25
+        samples = sample_geometric_lengths(alpha, 20000, rng)
+        assert samples.min() >= 0
+        assert np.mean(samples == 0) == pytest.approx(alpha, abs=0.02)
+        assert samples.mean() == pytest.approx((1 - alpha) / alpha, abs=0.15)
+
+    def test_validation(self):
+        rng = ensure_rng(0)
+        with pytest.raises(ValueError):
+            sample_geometric_lengths(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            sample_geometric_lengths(0.25, -1, rng)
+
+
+class TestStep:
+    def test_steps_follow_edges(self, toy_graph):
+        engine = WalkEngine(toy_graph)
+        rng = ensure_rng(1)
+        nodes = np.arange(toy_graph.n_nodes)
+        successors = engine.step(nodes, rng)
+        for u, v in zip(nodes.tolist(), successors.tolist()):
+            neighbors, _ = toy_graph.out_edges(u)
+            assert v in neighbors
+
+    def test_step_distribution_matches_transition_row(self, star_graph):
+        # Hub 0 has four equally likely out-neighbors.
+        engine = WalkEngine(star_graph)
+        rng = ensure_rng(5)
+        nodes = np.zeros(40000, dtype=np.int64)
+        successors = engine.step(nodes, rng)
+        freq = np.bincount(successors, minlength=5) / successors.size
+        neighbors, probs = star_graph.out_edges(0)
+        assert np.abs(freq[neighbors] - probs).max() < 0.01
+
+    def test_weighted_edges_respected(self):
+        g = graph_from_edges(3, [(0, 1, 3.0), (0, 2, 1.0), (1, 0, 1.0), (2, 0, 1.0)])
+        engine = WalkEngine(g)
+        rng = ensure_rng(9)
+        successors = engine.step(np.zeros(40000, dtype=np.int64), rng)
+        assert np.mean(successors == 1) == pytest.approx(0.75, abs=0.01)
+
+    def test_deterministic_on_line(self):
+        g = graph_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        engine = WalkEngine(g)
+        terminals = engine.walk_terminals([0, 1], [3, 1], ensure_rng(0))
+        assert terminals.tolist() == [0, 2]
+
+
+class TestWalkTerminals:
+    def test_zero_length_stays_put(self, toy_graph):
+        engine = WalkEngine(toy_graph)
+        starts = np.arange(toy_graph.n_nodes)
+        terminals = engine.walk_terminals(starts, np.zeros_like(starts), ensure_rng(0))
+        assert np.array_equal(terminals, starts)
+
+    def test_mixed_lengths_all_valid(self, toy_graph):
+        engine = WalkEngine(toy_graph)
+        rng = ensure_rng(2)
+        starts = np.zeros(100, dtype=np.int64)
+        lengths = np.arange(100) % 7
+        terminals = engine.walk_terminals(starts, lengths, rng)
+        assert terminals.min() >= 0
+        assert terminals.max() < toy_graph.n_nodes
+
+    def test_validation(self, toy_graph):
+        engine = WalkEngine(toy_graph)
+        with pytest.raises(ValueError, match="equal length"):
+            engine.walk_terminals([0, 1], [1])
+        with pytest.raises(ValueError, match="start nodes"):
+            engine.walk_terminals([toy_graph.n_nodes], [1])
+        with pytest.raises(ValueError, match="start nodes"):
+            engine.walk_terminals([-1], [1])
+        with pytest.raises(ValueError, match=">= 0"):
+            engine.walk_terminals([0], [-1])
+
+
+class TestEngineCache:
+    def test_same_graph_same_engine(self, toy_graph):
+        assert get_walk_engine(toy_graph) is get_walk_engine(toy_graph)
+
+    def test_different_graphs_different_engines(self, toy_graph):
+        g = graph_from_edges(2, [(0, 1)], directed=False)
+        assert get_walk_engine(toy_graph) is not get_walk_engine(g)
+
+
+class TestStatisticalAgreementWithLoopPath:
+    """The vectorized sampler and the rng.choice loop draw from the same law."""
+
+    def _loop_frank_mc(self, graph, query, alpha, n_samples, seed):
+        # The pre-engine estimator, verbatim: one rng.choice per step.
+        rng = ensure_rng(seed)
+        counts = np.zeros(graph.n_nodes)
+        for _ in range(n_samples):
+            length = sample_geometric_length(alpha, rng)
+            counts[walk_steps(graph, query, length, rng)[-1]] += 1
+        return counts / n_samples
+
+    def test_frank_estimates_agree(self, toy_graph):
+        q = toy_graph.node_by_label("t1")
+        alpha, n = 0.25, 12000
+        exact = frank_vector(toy_graph, q, alpha)
+        loop = self._loop_frank_mc(toy_graph, q, alpha, n, seed=31)
+        vectorized = estimate_frank_mc(toy_graph, q, alpha, n_samples=n, seed=32)
+        # Both estimators sit within Monte Carlo noise of the exact vector
+        # and hence of each other.
+        assert np.abs(loop - exact).max() < 0.02
+        assert np.abs(vectorized - exact).max() < 0.02
+        assert np.abs(vectorized - loop).max() < 0.03
+
+    def test_trip_terminals_distribution(self, star_graph):
+        engine = WalkEngine(star_graph)
+        alpha, n = 0.3, 30000
+        terminals = engine.sample_trip_terminals(0, alpha, n, ensure_rng(8))
+        freq = np.bincount(terminals, minlength=star_graph.n_nodes) / n
+        exact = frank_vector(star_graph, 0, alpha)
+        assert np.abs(freq - exact).max() < 0.01
