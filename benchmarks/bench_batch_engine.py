@@ -22,7 +22,7 @@ import os
 
 import numpy as np
 
-from benchmarks.common import report
+from benchmarks.common import report, report_json
 from repro.core.frank import frank_vector
 from repro.core.montecarlo import sample_geometric_length, walk_steps
 from repro.datasets import BibNetConfig, generate_bibnet, toy_bibliographic_graph
@@ -43,7 +43,7 @@ def _setup():
     return graph, 64, 3000, 300000
 
 
-def run_batch_engine(graph, n_queries, n_loop_walks, n_vec_walks) -> str:
+def run_batch_engine(graph, n_queries, n_loop_walks, n_vec_walks) -> "tuple[str, dict]":
     rng = np.random.default_rng(17)
     queries = [int(q) for q in rng.choice(graph.n_nodes, size=n_queries, replace=False)]
     lines = [
@@ -118,15 +118,29 @@ def run_batch_engine(graph, n_queries, n_loop_walks, n_vec_walks) -> str:
         assert walk_speedup >= 10.0, f"walk speedup {walk_speedup:.2f}x < 10x"
         lines.append("")
         lines.append("acceptance: batch >= 5x and walks >= 10x — both hold")
-    return "\n".join(lines)
+    metrics = {
+        "mode": "smoke" if _smoke() else "full",
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "n_queries": n_queries,
+        "sequential_ms": t_seq.elapsed_ms,
+        "batched_ms": t_batch.elapsed_ms,
+        "batch_speedup": batch_speedup,
+        "column_parity_max_abs": parity,
+        "loop_walks_per_s": loop_wps,
+        "vectorized_walks_per_s": vec_wps,
+        "walk_speedup": walk_speedup,
+    }
+    return "\n".join(lines), metrics
 
 
 def test_bench_batch_engine(benchmark):
     graph, n_queries, n_loop_walks, n_vec_walks = _setup()
-    text = benchmark.pedantic(
+    text, metrics = benchmark.pedantic(
         run_batch_engine,
         args=(graph, n_queries, n_loop_walks, n_vec_walks),
         rounds=1,
         iterations=1,
     )
     report("batch_engine", text)
+    report_json("batch_engine", metrics)

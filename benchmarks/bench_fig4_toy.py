@@ -6,8 +6,6 @@ t1 0.25.  This bench regenerates the table by brute-force enumeration and
 checks the decomposition of Prop. 2 reproduces it.
 """
 
-import numpy as np
-
 from benchmarks.common import report
 from repro.core import (
     enumerate_round_trips,

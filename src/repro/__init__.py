@@ -24,8 +24,6 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
-__version__ = "1.0.0"
-
 from repro.core import (
     DEFAULT_ALPHA,
     DEFAULT_BETA,
@@ -43,6 +41,8 @@ from repro.engine import (
     trank_batch,
 )
 from repro.graph import DiGraph, GraphBuilder
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -6,7 +6,7 @@ structure-preserving synthetic substitutes (see DESIGN.md, Substitutions).
 """
 
 from repro.datasets.bibnet import BibNet, BibNetConfig, generate_bibnet
-from repro.datasets.qlog import QLog, QLogConfig, generate_qlog
+from repro.datasets.qlog import QLog, QLogConfig, generate_qlog, sample_zipf_queries
 from repro.datasets.toy import FIG4_EXPECTED_MASS, TOY_TYPE_NAMES, toy_bibliographic_graph
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "QLog",
     "QLogConfig",
     "generate_qlog",
+    "sample_zipf_queries",
     "FIG4_EXPECTED_MASS",
     "TOY_TYPE_NAMES",
     "toy_bibliographic_graph",

@@ -158,6 +158,41 @@ class QLog:
         ]
 
 
+def sample_zipf_queries(
+    population: "np.ndarray | list[int] | int",
+    n_queries: int,
+    s: float = 1.1,
+    seed: "int | np.random.Generator" = 0,
+) -> np.ndarray:
+    """A Zipf-distributed query stream over a node population.
+
+    Real query logs are heavily skewed: the ``r``-th most popular query
+    accounts for mass proportional to ``r^-s`` (Zipf's law, ``s`` near 1 for
+    web search).  This sampler drives the serving benchmarks: popularity
+    ranks are assigned by a seeded shuffle of ``population`` (an array of
+    node ids, or an int ``n`` meaning ``0..n-1``), then ``n_queries`` draws
+    are taken i.i.d. from the rank-``-s`` power law.  The repetition this
+    induces is exactly what a serving-side column cache exploits.
+
+    Returns an ``int64`` array of node ids of length ``n_queries``.
+    """
+    if isinstance(population, (int, np.integer)):
+        population = np.arange(int(population), dtype=np.int64)
+    else:
+        population = np.asarray(population, dtype=np.int64)
+    if population.size == 0:
+        raise ValueError("population must not be empty")
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if s <= 0:
+        raise ValueError(f"s must be > 0, got {s}")
+    rng = ensure_rng(seed)
+    ranked = rng.permutation(population)
+    probs = np.arange(1, ranked.size + 1, dtype=np.float64) ** -float(s)
+    probs /= probs.sum()
+    return ranked[rng.choice(ranked.size, size=int(n_queries), p=probs)]
+
+
 def generate_qlog(config: "QLogConfig | None" = None) -> QLog:
     """Generate a synthetic query-log click graph from ``config``."""
     config = config or QLogConfig()

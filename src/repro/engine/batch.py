@@ -405,7 +405,7 @@ def _per_node_ft(
     return f, t, col_of
 
 
-def _normalize_columns(scores: np.ndarray, what: str) -> np.ndarray:
+def normalize_columns(scores: np.ndarray, what: str) -> np.ndarray:
     """Normalize each column to sum to one, warning on zero-mass columns.
 
     A zero-mass column cannot be a distribution; it is returned as all zeros
@@ -457,7 +457,7 @@ def roundtriprank_batch(
         cols = [col_of[int(v)] for v in nodes]
         scores[:, j] = (f[:, cols] * t[:, cols]) @ weights
     if normalize:
-        scores = _normalize_columns(scores, "roundtriprank_batch")
+        scores = normalize_columns(scores, "roundtriprank_batch")
     return scores
 
 

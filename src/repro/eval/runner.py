@@ -12,6 +12,7 @@ Reproduces the paper's methodology end to end:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -19,10 +20,11 @@ import numpy as np
 
 from repro.baselines.base import BetaTunable, ProximityMeasure
 from repro.core.frank import DEFAULT_ALPHA
-from repro.engine.batch import frank_batch, trank_batch
+from repro.core.queries import normalize_query
 from repro.eval.metrics import ndcg_at_k, ranking_from_scores
 from repro.eval.significance import PairedTTestResult, paired_t_test
 from repro.eval.tasks import QueryCase, RankingTask
+from repro.serving.cache import DEFAULT_MAX_BYTES, ColumnCache, graph_token
 
 DEFAULT_K_VALUES = (5, 10, 20)
 
@@ -47,49 +49,100 @@ class MeasureTaskResult:
 
 
 class FTCache:
-    """Per-case cache of the (F-Rank, T-Rank) pair shared across measures.
+    """Bounded cache of the (F-Rank, T-Rank) pair shared across measures.
 
-    All computation goes through the batch engine: :meth:`warm` groups the
-    uncached cases by graph and solves each group's queries in one
-    multi-column power iteration per direction, so tasks whose cases share a
-    graph pay for the sparse operator once per sweep instead of once per
-    query.  (The paper's edge-removal tasks give every case its own graph, in
-    which case a group degenerates to a single column — same cost as before.)
+    Delegates storage to a :class:`repro.serving.ColumnCache`: what is
+    memoized are *per-node* F/T solution columns under the cache's LRU /
+    byte-budget eviction, so the cache no longer grows without bound across
+    graphs (the paper's edge-removal tasks give every case its own graph,
+    which used to pin every graph's vectors forever).  F-Rank and T-Rank are
+    linear in the teleport vector, so a multi-node case composes its pair
+    from the cached single-node columns.
+
+    :meth:`warm` still batches: the uncached query nodes of each graph are
+    solved in one multi-column power iteration per direction, so cases that
+    share a graph pay for the sparse operator once per sweep instead of once
+    per query.  :meth:`cache_info` exposes hit/miss/eviction counters for
+    the runner's logs.
     """
 
-    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+    #: entry cap of the composed multi-node (f, t) memo (LRU beyond this);
+    #: multi-node cases are rare in the paper's tasks, so this stays small.
+    _COMPOSED_MAX_ENTRIES = 256
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        max_bytes: "int | None" = None,
+        cache: "ColumnCache | None" = None,
+    ) -> None:
         self.alpha = alpha
-        self._store: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if cache is None:
+            cache = ColumnCache(
+                max_bytes=max_bytes if max_bytes is not None else DEFAULT_MAX_BYTES,
+                alpha=alpha,
+            )
+        self._columns = cache
+        #: composed multi-node pairs (LRU, entry-capped) so repeated ``get``
+        #: calls return identical objects; keyed on the full weighted query,
+        #: never on the case index alone.
+        self._composed: "OrderedDict[tuple, tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+
+    def _case_nodes(self, case: QueryCase) -> np.ndarray:
+        nodes, _ = normalize_query(case.graph, case.query)
+        return nodes
 
     def warm(self, cases: Sequence[QueryCase]) -> None:
-        """Batch-compute (f, t) for every uncached case, grouped by graph.
-
-        Case keys are the indices into ``cases``, matching what
-        :func:`evaluate_measure` passes to :meth:`get`.
-        """
-        groups: dict[int, list[tuple[int, QueryCase]]] = {}
-        for key, case in enumerate(cases):
-            if key not in self._store:
-                groups.setdefault(id(case.graph), []).append((key, case))
+        """Batch-compute the per-node columns of every uncached case."""
+        groups: dict[int, list[QueryCase]] = {}
+        for case in cases:
+            groups.setdefault(id(case.graph), []).append(case)
         for members in groups.values():
-            graph = members[0][1].graph
-            queries = [case.query for _, case in members]
-            f_cols = frank_batch(graph, queries, self.alpha)
-            t_cols = trank_batch(graph, queries, self.alpha)
-            for col, (key, _) in enumerate(members):
-                self._store[key] = (f_cols[:, col], t_cols[:, col])
+            graph = members[0].graph
+            nodes = sorted({int(v) for case in members for v in self._case_nodes(case)})
+            self._columns.warm(graph, nodes, self.alpha)
 
     def get(self, case_key: int, case: QueryCase) -> tuple[np.ndarray, np.ndarray]:
-        """The (f, t) pair for a case, computing it on first access."""
-        if case_key not in self._store:
-            f = frank_batch(case.graph, [case.query], self.alpha)[:, 0]
-            t = trank_batch(case.graph, [case.query], self.alpha)[:, 0]
-            self._store[case_key] = (f, t)
-        return self._store[case_key]
+        """The (f, t) pair for a case, computing it on first access.
+
+        Single-node cases return the cached columns themselves (read-only,
+        bit-exact across hits); multi-node cases return the weighted
+        combination of their nodes' columns.
+        """
+        nodes, weights = normalize_query(case.graph, case.query)
+        graph = case.graph
+        if nodes.size == 1:
+            node = int(nodes[0])
+            return (
+                self._columns.get(graph, "f", node, self.alpha),
+                self._columns.get(graph, "t", node, self.alpha),
+            )
+        memo_key = (graph_token(graph), tuple(nodes.tolist()), tuple(weights.tolist()))
+        pair = self._composed.get(memo_key)
+        if pair is None:
+            f_cols = self._columns.get_many(graph, "f", nodes.tolist(), self.alpha)
+            t_cols = self._columns.get_many(graph, "t", nodes.tolist(), self.alpha)
+            f = np.zeros(graph.n_nodes)
+            t = np.zeros(graph.n_nodes)
+            for w, fc, tc in zip(weights.tolist(), f_cols, t_cols):
+                f += w * fc
+                t += w * tc
+            pair = (f, t)
+            self._composed[memo_key] = pair
+            while len(self._composed) > self._COMPOSED_MAX_ENTRIES:
+                self._composed.popitem(last=False)
+        else:
+            self._composed.move_to_end(memo_key)
+        return pair
+
+    def cache_info(self):
+        """Hit/miss/eviction counters of the underlying column cache."""
+        return self._columns.cache_info()
 
     def clear(self) -> None:
-        """Drop all cached (f, t) pairs."""
-        self._store.clear()
+        """Drop all cached columns and composed pairs."""
+        self._columns.clear()
+        self._composed.clear()
 
 
 def evaluate_measure(

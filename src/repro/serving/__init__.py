@@ -1,0 +1,67 @@
+"""The serving layer: column caching, micro-batching, fused top-k.
+
+PR 1's batch engine made *offline* multi-query solves cheap; this package
+makes *online* serving cheap, where queries arrive one at a time, repeat
+(query logs are Zipf-distributed), and usually only need their top results:
+
+- :class:`~repro.serving.cache.ColumnCache` — LRU, byte-budgeted memoization
+  of per-node F-Rank / T-Rank solution columns, warmable through the batch
+  engine.  Because F/T are linear in the teleport vector, single-node
+  columns compose into any multi-node query and any ``(f, t)``-derived
+  measure, so one cache serves every measure in the library.
+- :class:`~repro.serving.batcher.MicroBatcher` — queues individual queries
+  and flushes them as one multi-column solve on a size-or-deadline trigger;
+  synchronous ``ask``/``flush`` plus a thread-based ``submit``/future API.
+- :mod:`repro.serving.topk` — fused top-k extraction
+  (:func:`~repro.serving.topk.roundtriprank_topk` and friends) returning
+  ``(indices, scores)`` via ``np.argpartition`` partial selection instead of
+  full-vector sorts, with a :func:`~repro.serving.topk.candidates_from_bounds`
+  hook that prunes through the Sect. V bound machinery.
+
+Cache key contract
+------------------
+``ColumnCache`` entries are keyed on ``(graph_id, kind, node, alpha, dtype)``
+where ``graph_id`` is a process-unique token per live graph object (graphs
+are immutable, so object identity is content identity; tokens are never
+reused — see :func:`repro.serving.cache.graph_token`), ``kind`` is ``"f"``
+or ``"t"``, ``alpha`` compares exactly as a float, and ``dtype`` is the
+storage dtype.  Solver parameters (``tol`` / ``max_iter`` / ``method``) are
+fixed per cache instance, so all entries of one cache are mutually
+consistent.  A hit returns the stored array itself (read-only), i.e. results
+are bit-exact across hits; ``current_bytes`` never exceeds ``max_bytes``.
+
+Thread-safety guarantees
+------------------------
+``ColumnCache`` serializes all public methods behind one reentrant lock:
+counters and byte accounting are exact under concurrency, and a miss solves
+under the lock so concurrent readers never duplicate a solve.
+``MicroBatcher`` accepts ``submit``/``flush``/``ask`` from any thread; the
+queue lock is never held during a solve, futures resolve exactly once, and
+solver failures propagate through ``Future.set_exception`` to every query of
+the failed batch.  Fused top-k functions are pure and hence trivially
+thread-safe.
+"""
+
+from repro.serving.batcher import BatcherStats, MicroBatcher
+from repro.serving.cache import DEFAULT_MAX_BYTES, CacheInfo, ColumnCache, graph_token
+from repro.serving.topk import (
+    candidates_from_bounds,
+    roundtriprank_batch_topk,
+    roundtriprank_plus_batch_topk,
+    roundtriprank_topk,
+    topk_select,
+)
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "CacheInfo",
+    "ColumnCache",
+    "DEFAULT_MAX_BYTES",
+    "graph_token",
+    "candidates_from_bounds",
+    "roundtriprank_batch_topk",
+    "roundtriprank_plus_batch_topk",
+    "roundtriprank_topk",
+    "topk_select",
+]

@@ -1,0 +1,343 @@
+"""Micro-batching scheduler: queue queries, solve them as one batch.
+
+The batch engine is 3-7x cheaper per query than sequential solves, but only
+when queries actually arrive as a batch.  :class:`MicroBatcher` supplies the
+missing assembly layer: callers :meth:`~MicroBatcher.submit` individual
+queries and receive :class:`concurrent.futures.Future` objects; the pending
+queue is flushed as *one* multi-column solve when either
+
+- the **size trigger** fires — ``max_batch`` queries are pending (flushed
+  inline in the submitting thread), or
+- the **deadline trigger** fires — the oldest pending query has waited
+  ``max_delay`` seconds (flushed by the background thread started with
+  :meth:`~MicroBatcher.start` / the context manager), or
+- the caller forces it with :meth:`~MicroBatcher.flush` (synchronous use;
+  :meth:`~MicroBatcher.ask` is the one-call convenience wrapper, which
+  degenerates to a single-query solve when nothing else is queued).
+
+Results are full score vectors, or fused top-k ``(indices, scores)`` pairs
+for requests submitted with ``k`` (see :mod:`repro.serving.topk`).  When a
+:class:`repro.serving.cache.ColumnCache` is attached, each flush reuses
+cached per-node F/T columns and solves only the genuinely new nodes — the
+cache and the batcher compound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.core.queries import Query, normalize_query
+from repro.core.roundtrip_plus import DEFAULT_BETA, combine_beta
+from repro.engine.batch import (
+    frank_batch,
+    normalize_columns,
+    roundtriprank_batch,
+    roundtriprank_plus_batch,
+    trank_batch,
+)
+from repro.graph.digraph import DiGraph
+from repro.serving.cache import ColumnCache
+from repro.serving.topk import topk_select
+
+MEASURES = ("roundtriprank", "roundtriprank_plus", "frank", "trank")
+
+
+@dataclass
+class _Request:
+    """One pending query with its parsed form and result future."""
+
+    query: Query
+    nodes: np.ndarray
+    weights: np.ndarray
+    k: "int | None"
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how queries were assembled into solves."""
+
+    n_submitted: int = 0
+    n_flushes: int = 0
+    n_size_flushes: int = 0
+    n_deadline_flushes: int = 0
+    batch_sizes: "list[int]" = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+
+class MicroBatcher:
+    """Accumulate queries and flush them through one batched solve.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query runs on.
+    measure:
+        ``"roundtriprank"`` (default), ``"roundtriprank_plus"``, ``"frank"``
+        or ``"trank"`` — which score vector a flush computes per query.
+    alpha, beta, normalize, tol, max_iter, method:
+        Solver configuration, matching the batch-engine functions.
+    max_batch:
+        Size trigger: a submit that brings the queue to this size flushes
+        inline.
+    max_delay:
+        Deadline trigger (seconds): with the background thread running, no
+        accepted query waits longer than ~``max_delay`` before its solve
+        starts.
+    cache:
+        Optional :class:`ColumnCache`; flushes then solve only uncached
+        query nodes and memoize the new columns.  Column solves follow the
+        *cache's* solver configuration (its ``tol`` / ``max_iter`` /
+        ``method``), not this batcher's — the cache key contract requires
+        all entries of one cache to be mutually consistent, so a cache
+        shared between batchers cannot honor per-batcher solver settings.
+        This batcher's solver arguments apply only when ``cache`` is None.
+
+    Thread safety: ``submit`` / ``flush`` / ``ask`` may be called from any
+    number of threads.  The queue is guarded by one lock; solves run outside
+    it, so submissions keep queueing for the *next* batch while one is being
+    solved.  Futures are resolved exactly once; solver errors are delivered
+    through ``future.set_exception`` to every query of the failed batch.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        measure: str = "roundtriprank",
+        alpha: float = DEFAULT_ALPHA,
+        beta: float = DEFAULT_BETA,
+        normalize: bool = True,
+        max_batch: int = 32,
+        max_delay: float = 0.01,
+        cache: "ColumnCache | None" = None,
+        tol: float = 1e-12,
+        max_iter: int = 1000,
+        method: str = "auto",
+    ) -> None:
+        if measure not in MEASURES:
+            raise ValueError(f"measure must be one of {MEASURES}, got {measure!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be > 0, got {max_delay}")
+        self.graph = graph
+        self.measure = measure
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.normalize = normalize
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.cache = cache
+        self.tol = tol
+        self.max_iter = max_iter
+        self.method = method
+        self.stats = BatcherStats()
+        self._pending: "list[_Request]" = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._thread: "threading.Thread | None" = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+
+    def submit(self, query: Query, k: "int | None" = None) -> Future:
+        """Queue one query; returns a future resolving to its scores.
+
+        The future's result is the full score vector, or an
+        ``(indices, scores)`` top-``k`` pair when ``k`` is given.  Invalid
+        queries raise here (synchronously), never through the future.
+        """
+        nodes, weights = normalize_query(self.graph, query)  # validates now
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        request = _Request(
+            query=query,
+            nodes=nodes,
+            weights=weights,
+            k=k,
+            future=Future(),
+            enqueued_at=time.monotonic(),
+        )
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("MicroBatcher is stopped")
+            self._pending.append(request)
+            self.stats.n_submitted += 1
+            size_trigger = len(self._pending) >= self.max_batch
+            batch = self._drain() if size_trigger else None
+            self._wakeup.notify_all()
+        if batch:
+            self._solve(batch, trigger="size")
+        return request.future
+
+    def flush(self) -> int:
+        """Solve everything pending right now; returns the batch size."""
+        with self._lock:
+            batch = self._drain()
+        if batch:
+            self._solve(batch, trigger="flush")
+        return len(batch)
+
+    def ask(self, query: Query, k: "int | None" = None):
+        """Submit one query and resolve it immediately (synchronous path).
+
+        With an empty queue this is the single-query fallback: the flush
+        solves a one-column batch.  Anything else already queued rides along
+        in the same solve.
+        """
+        future = self.submit(query, k)
+        self.flush()
+        return future.result()
+
+    # ------------------------------------------------------------------ #
+    # Deadline thread
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "MicroBatcher":
+        """Start the background deadline-flush thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._deadline_loop, name="microbatcher-deadline", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the deadline thread, flushing whatever is still queued."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            self._stopping = True
+            self._wakeup.notify_all()
+        if thread is not None:
+            thread.join()
+        self.flush()  # no future may be left unresolved
+        with self._lock:
+            self._stopping = False
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _deadline_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._stopping:
+                    self._wakeup.wait()
+                if self._stopping:
+                    return
+                deadline = self._pending[0].enqueued_at + self.max_delay
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    self._wakeup.wait(timeout=remaining)
+                # Re-check under the same lock hold: a size flush may have
+                # emptied the queue while we slept.
+                batch = []
+                if self._pending and (
+                    self._pending[0].enqueued_at + self.max_delay <= time.monotonic()
+                    or self._stopping
+                ):
+                    batch = self._drain()
+            if batch:
+                self._solve(batch, trigger="deadline")
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def _drain(self) -> "list[_Request]":
+        """Take ownership of the pending queue (call with the lock held)."""
+        batch, self._pending = self._pending, []
+        return batch
+
+    def _solve(self, batch: "list[_Request]", trigger: str) -> None:
+        with self._lock:  # stats share the queue lock: counters stay exact
+            self.stats.n_flushes += 1
+            self.stats.batch_sizes.append(len(batch))
+            if trigger == "size":
+                self.stats.n_size_flushes += 1
+            elif trigger == "deadline":
+                self.stats.n_deadline_flushes += 1
+        try:
+            scores = self._score_columns(batch)
+            for j, request in enumerate(batch):
+                if request.k is None:
+                    result = np.ascontiguousarray(scores[:, j])
+                else:
+                    result = topk_select(scores[:, j], request.k)
+                request.future.set_result(result)
+        except BaseException as exc:  # delivered through every future
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _score_columns(self, batch: "list[_Request]") -> np.ndarray:
+        queries = [request.query for request in batch]
+        if self.cache is None:
+            solver_kwargs = dict(
+                tol=self.tol, max_iter=self.max_iter, method=self.method
+            )
+            if self.measure == "frank":
+                return frank_batch(self.graph, queries, self.alpha, **solver_kwargs)
+            if self.measure == "trank":
+                return trank_batch(self.graph, queries, self.alpha, **solver_kwargs)
+            if self.measure == "roundtriprank":
+                return roundtriprank_batch(
+                    self.graph, queries, self.alpha, self.normalize, **solver_kwargs
+                )
+            return roundtriprank_plus_batch(
+                self.graph, queries, self.beta, self.alpha, **solver_kwargs
+            )
+        return self._score_columns_cached(batch)
+
+    def _score_columns_cached(self, batch: "list[_Request]") -> np.ndarray:
+        """Combine cached per-node columns; solve only the uncached nodes.
+
+        Every measure served here is a function of per-node F/T columns
+        (linearity for F/T, Proposition 2 / Eq. 12 for the round-trip
+        measures), so the cache's single-node columns are fully general.
+        """
+        cache = self.cache
+        assert cache is not None
+        union = sorted({int(v) for request in batch for v in request.nodes})
+        col_of = {v: j for j, v in enumerate(union)}
+        needs_f = self.measure != "trank"
+        needs_t = self.measure != "frank"
+        f = t = None
+        if needs_f:
+            f = np.stack(cache.get_many(self.graph, "f", union, self.alpha), axis=1)
+        if needs_t:
+            t = np.stack(cache.get_many(self.graph, "t", union, self.alpha), axis=1)
+        scores = np.zeros((self.graph.n_nodes, len(batch)))
+        for j, request in enumerate(batch):
+            cols = [col_of[int(v)] for v in request.nodes]
+            w = request.weights
+            if self.measure == "frank":
+                scores[:, j] = f[:, cols] @ w
+            elif self.measure == "trank":
+                scores[:, j] = t[:, cols] @ w
+            elif self.measure == "roundtriprank":
+                scores[:, j] = (f[:, cols] * t[:, cols]) @ w
+            else:  # roundtriprank_plus
+                for col, weight in zip(cols, w.tolist()):
+                    scores[:, j] += weight * combine_beta(f[:, col], t[:, col], self.beta)
+        if self.measure == "roundtriprank" and self.normalize:
+            scores = normalize_columns(scores, "MicroBatcher(roundtriprank)")
+        return scores

@@ -1,0 +1,272 @@
+"""LRU cache of per-node F-Rank / T-Rank columns with byte-budget accounting.
+
+Repeated queries dominate real serving workloads (the query-log graphs the
+paper targets are Zipf-distributed), yet every repeated query used to re-run
+a full sparse solve.  :class:`ColumnCache` memoizes the *per-node* solution
+columns instead of per-query score vectors: F-Rank and T-Rank are linear in
+the teleport vector (the Linearity Theorem), so any multi-node query is a
+weighted sum of cached single-node columns, and one cached column serves
+every measure derived from ``(f, t)``.
+
+Cache key contract
+------------------
+An entry is keyed on ``(graph_id, kind, node, alpha, dtype)``:
+
+- ``graph_id`` — a token unique per live :class:`~repro.graph.digraph.DiGraph`
+  *object* (graphs are immutable once built, so object identity is content
+  identity; tokens are never reused while the cache can still hold entries
+  for the graph, see :func:`graph_token`);
+- ``kind`` — ``"f"`` (F-Rank, the ``P^T`` fixed point) or ``"t"`` (T-Rank,
+  the ``P`` fixed point);
+- ``node`` — the single teleport node of the column;
+- ``alpha`` — the teleport probability, compared exactly as a float;
+- ``dtype`` — the stored dtype (``float64`` by default).
+
+Solver parameters (``tol``, ``max_iter``, ``method``) are fixed per cache
+instance so that every entry of one cache is mutually consistent.
+
+Eviction and accounting
+-----------------------
+Entries are evicted least-recently-used first.  ``current_bytes`` (the sum
+of ``array.nbytes`` over stored columns) never exceeds ``max_bytes`` — not
+even transiently: room is made *before* a new column is stored.  A column
+larger than the whole budget is computed and returned but never stored.
+
+Stored arrays are marked read-only and returned without copying, so a cache
+hit is bit-exact with the original solve and costs O(1).
+
+Thread safety
+-------------
+All public methods are serialized by one reentrant lock per cache; hits,
+misses, evictions and byte accounting are therefore exact under concurrent
+use.  Misses solve while holding the lock, so concurrent readers of a cold
+cache wait rather than duplicating a solve.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.engine.batch import frank_batch, trank_batch
+from repro.graph.digraph import DiGraph
+
+#: Default byte budget (a quarter GiB): ~32k float64 columns on a 1k-node
+#: graph, ~33 columns on a 1M-node graph.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_KINDS = ("f", "t")
+
+_graph_tokens: "weakref.WeakKeyDictionary[DiGraph, int]" = weakref.WeakKeyDictionary()
+_next_token = itertools.count()
+_token_lock = threading.Lock()
+
+
+def graph_token(graph: DiGraph) -> int:
+    """A process-unique integer identifying a live graph object.
+
+    Unlike ``id(graph)``, tokens are monotonically assigned and never reused,
+    so a cache entry can outlive its graph without a new graph aliasing it.
+    """
+    with _token_lock:
+        token = _graph_tokens.get(graph)
+        if token is None:
+            token = next(_next_token)
+            _graph_tokens[graph] = token
+        return token
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of cache counters (compare with ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing has been looked up yet."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ColumnCache:
+    """LRU / byte-budgeted cache of per-node F-Rank and T-Rank columns.
+
+    Parameters
+    ----------
+    max_bytes:
+        Hard budget on the summed ``nbytes`` of stored columns.
+    alpha, tol, max_iter, method:
+        Solver configuration used for cache misses; part of the consistency
+        contract (``alpha`` may also be overridden per call, it is part of
+        the key).  ``method="auto"`` is the batch engine's accelerated path.
+    dtype:
+        Storage dtype of cached columns.  ``float32`` halves the footprint at
+        ~1e-7 relative error; the default keeps solver-exact ``float64``.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        alpha: float = DEFAULT_ALPHA,
+        tol: float = 1e-12,
+        max_iter: int = 1000,
+        method: str = "auto",
+        dtype=np.float64,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.alpha = alpha
+        self.tol = tol
+        self.max_iter = max_iter
+        self.method = method
+        self.dtype = np.dtype(dtype)
+        self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._current_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def _key(self, graph: DiGraph, kind: str, node: int, alpha: float) -> tuple:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        return (graph_token(graph), kind, int(node), float(alpha), self.dtype.name)
+
+    def get(self, graph: DiGraph, kind: str, node: int, alpha: "float | None" = None) -> np.ndarray:
+        """The ``kind`` column of ``node``, solved on first access.
+
+        The returned array is read-only and shared with the cache (bit-exact
+        across hits); copy before mutating.
+        """
+        return self.get_many(graph, kind, [node], alpha)[0]
+
+    def get_many(
+        self,
+        graph: DiGraph,
+        kind: str,
+        nodes: Sequence[int],
+        alpha: "float | None" = None,
+    ) -> "list[np.ndarray]":
+        """Columns for several nodes; all misses share one batched solve.
+
+        Returns one read-only length-``n`` array per requested node, in
+        request order (duplicates allowed).
+        """
+        alpha = self.alpha if alpha is None else float(alpha)
+        with self._lock:
+            keys = [self._key(graph, kind, node, alpha) for node in nodes]
+            # Results are pinned per call: an entry inserted early in this
+            # call may be evicted by a later insert of the same call, but the
+            # caller must still receive it.
+            resolved: "dict[tuple, np.ndarray]" = {}
+            missing: "dict[tuple, int]" = {}
+            for key, node in zip(keys, nodes):
+                if key in resolved:
+                    self._hits += 1
+                elif key in self._store:
+                    self._store.move_to_end(key)
+                    resolved[key] = self._store[key]
+                    self._hits += 1
+                elif key not in missing:
+                    missing[key] = int(node)
+                    self._misses += 1
+                else:
+                    self._hits += 1  # duplicate miss in one request: solved once
+            if missing:
+                solved = self._solve(graph, kind, list(missing.values()), alpha)
+                for j, key in enumerate(missing):
+                    resolved[key] = self._insert(key, solved[:, j])
+            return [resolved[key] for key in keys]
+
+    def warm(
+        self,
+        graph: DiGraph,
+        nodes: Sequence[int],
+        alpha: "float | None" = None,
+        kinds: Sequence[str] = _KINDS,
+    ) -> None:
+        """Precompute (and store) columns for ``nodes`` in batched solves.
+
+        One :func:`repro.engine.frank_batch` / :func:`repro.engine.trank_batch`
+        call per kind covers every uncached node, so warming ``m`` nodes costs
+        two multi-column solves instead of ``2 m`` single solves.
+        """
+        for kind in kinds:
+            self.get_many(graph, kind, nodes, alpha)
+
+    # ------------------------------------------------------------------ #
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+
+    def _solve(self, graph: DiGraph, kind: str, nodes: "list[int]", alpha: float) -> np.ndarray:
+        solver = frank_batch if kind == "f" else trank_batch
+        columns = solver(
+            graph, nodes, alpha, tol=self.tol, max_iter=self.max_iter, method=self.method
+        )
+        return columns if self.dtype == np.float64 else columns.astype(self.dtype)
+
+    def _insert(self, key: tuple, column: np.ndarray) -> np.ndarray:
+        column = np.ascontiguousarray(column)
+        column.setflags(write=False)
+        if column.nbytes > self.max_bytes:
+            # Never storable within budget: hand it to the caller only.
+            return column
+        while self._current_bytes + column.nbytes > self.max_bytes:
+            _, evicted = self._store.popitem(last=False)
+            self._current_bytes -= evicted.nbytes
+            self._evictions += 1
+        self._store[key] = column
+        self._current_bytes += column.nbytes
+        return column
+
+    # ------------------------------------------------------------------ #
+    # Introspection and maintenance
+    # ------------------------------------------------------------------ #
+
+    def cache_info(self) -> CacheInfo:
+        """Hit / miss / eviction counters and byte accounting, atomically."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._store),
+                current_bytes=self._current_bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            self._store.clear()
+            self._current_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.cache_info()
+        return (
+            f"ColumnCache(entries={info.entries}, bytes={info.current_bytes}/"
+            f"{info.max_bytes}, hits={info.hits}, misses={info.misses}, "
+            f"evictions={info.evictions})"
+        )

@@ -1,0 +1,211 @@
+"""Fused top-k extraction: partial selection instead of full-vector sorts.
+
+Callers of :func:`repro.engine.roundtriprank_batch` used to receive full
+``n``-vectors and re-rank them with an ``O(n log n)`` argsort per query even
+when only the top ``k`` entries mattered.  The functions here fuse the
+selection into the batch path with ``np.argpartition`` (``O(n + k log k)``)
+and return ``(indices, scores)`` pairs.
+
+Tie-breaking contract: results are *identical* to the library's full-vector
+ranking convention (score descending, node id ascending — what
+``np.argsort(-scores, kind="stable")`` and
+:func:`repro.eval.metrics.ranking_from_scores` produce), including across
+ties that straddle the ``k`` boundary.
+
+For callers that already ran the Sect. V bound machinery,
+:func:`candidates_from_bounds` turns a
+:class:`repro.topk.bounds.CombinedBounds` into a sound candidate subset
+(every possible top-``k`` member), which :func:`topk_select` then ranks via
+its ``candidate_mask`` hook — partial selection over a pruned set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.core.queries import Query
+from repro.engine.batch import roundtriprank_batch, roundtriprank_plus_batch
+from repro.graph.digraph import DiGraph
+from repro.topk.bounds import CombinedBounds
+
+
+def topk_select(
+    scores: np.ndarray,
+    k: int,
+    *,
+    exclude: "set[int] | frozenset[int] | Sequence[int] | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Top-``k`` ``(indices, values)`` of a score vector by partial selection.
+
+    Equivalent to ranking all eligible nodes with a stable descending sort
+    and truncating to ``k`` — bit-identical indices, ties broken by node id —
+    but via ``np.argpartition``, so the full-vector sort is avoided.  Fewer
+    than ``k`` eligible nodes return all of them; ``k`` must be >= 1.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scores = np.asarray(scores, dtype=np.float64)
+    idx = None
+    if candidate_mask is not None or exclude:
+        eligible = np.ones(scores.shape[0], dtype=bool)
+        if candidate_mask is not None:
+            eligible &= np.asarray(candidate_mask, dtype=bool)
+        if exclude:
+            eligible[list(exclude)] = False
+        idx = np.flatnonzero(eligible)
+        scores = scores[idx]
+
+    m = scores.shape[0]
+    if k < m:
+        # Partition once, then resolve boundary ties by node id: every value
+        # strictly above the k-th largest survives; values equal to it fill
+        # the remaining slots in ascending-index order.
+        part = np.argpartition(-scores, k - 1)
+        kth_value = scores[part[k - 1]]
+        above = np.flatnonzero(scores > kth_value)
+        n_ties = k - above.size
+        tied = np.flatnonzero(scores == kth_value)[:n_ties]
+        chosen = np.concatenate([above, tied])
+    else:
+        chosen = np.arange(m)
+    order = chosen[np.argsort(-scores[chosen], kind="stable")]
+    values = scores[order]
+    if idx is not None:
+        order = idx[order]
+    return order, values
+
+
+def _batch_topk(
+    score_columns: np.ndarray,
+    k: int,
+    exclude: "Sequence | None",
+    candidate_mask: "np.ndarray | None",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-column :func:`topk_select` over an ``n x q`` score stack.
+
+    ``exclude`` is ``None``, one shared ``set``/``frozenset``, or a sequence
+    of one entry (set or ``None``) per query.  Returns ``(indices, values)``
+    shaped ``(q, k')`` with ``k'`` the smallest result length across queries
+    (``k`` unless exclusions shrink a column below ``k``).
+    """
+    n_queries = score_columns.shape[1]
+    if exclude is None or isinstance(exclude, (set, frozenset)):
+        per_query_exclude = [exclude] * n_queries
+    else:
+        per_query_exclude = list(exclude)
+        if len(per_query_exclude) != n_queries:
+            raise ValueError(
+                f"exclude must be one shared set or one entry per query; got "
+                f"{len(per_query_exclude)} entries for {n_queries} queries"
+            )
+    all_idx, all_val = [], []
+    for j in range(n_queries):
+        excl = per_query_exclude[j]
+        idx, val = topk_select(
+            score_columns[:, j], k, exclude=excl, candidate_mask=candidate_mask
+        )
+        all_idx.append(idx)
+        all_val.append(val)
+    width = min(arr.shape[0] for arr in all_idx)
+    indices = np.stack([arr[:width] for arr in all_idx])
+    values = np.stack([arr[:width] for arr in all_val])
+    return indices, values
+
+
+def roundtriprank_topk(
+    graph: DiGraph,
+    query: Query,
+    k: int,
+    alpha: float = DEFAULT_ALPHA,
+    normalize: bool = True,
+    *,
+    exclude: "set[int] | frozenset[int] | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+    **solver_kwargs,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Top-``k`` RoundTripRank ``(indices, scores)`` for one query.
+
+    ``indices`` are best-first and identical to ranking the full
+    :func:`repro.core.roundtriprank` vector; ``scores`` are the
+    corresponding (normalized, by default) RoundTripRank values.
+    ``exclude`` / ``candidate_mask`` filter before selection (e.g. drop the
+    query node, keep one node type), mirroring
+    :func:`repro.eval.metrics.ranking_from_scores`.
+    """
+    indices, values = roundtriprank_batch_topk(
+        graph, [query], k, alpha, normalize,
+        exclude=[exclude] if exclude is not None else None,
+        candidate_mask=candidate_mask,
+        **solver_kwargs,
+    )
+    return indices[0], values[0]
+
+
+def roundtriprank_batch_topk(
+    graph: DiGraph,
+    queries: "Sequence[Query]",
+    k: int,
+    alpha: float = DEFAULT_ALPHA,
+    normalize: bool = True,
+    *,
+    exclude: "Sequence | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+    **solver_kwargs,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Top-``k`` RoundTripRank for every query, as ``(q, k)`` index/score arrays.
+
+    Fuses :func:`repro.engine.roundtriprank_batch` with per-column partial
+    selection; row ``j`` matches the full-vector ranking of query ``j``.
+    ``exclude`` is either one node set shared by all queries or a sequence of
+    one set per query.
+    """
+    scores = roundtriprank_batch(graph, queries, alpha, normalize, **solver_kwargs)
+    return _batch_topk(scores, k, exclude, candidate_mask)
+
+
+def roundtriprank_plus_batch_topk(
+    graph: DiGraph,
+    queries: "Sequence[Query]",
+    k: int,
+    beta: float = 0.5,
+    alpha: float = DEFAULT_ALPHA,
+    *,
+    exclude: "Sequence | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+    **solver_kwargs,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Top-``k`` RoundTripRank+ (Eq. 12) for every query, ``(q, k)`` arrays.
+
+    Row ``j`` matches the full-vector ranking of
+    ``roundtriprank_plus(graph, queries[j], beta, alpha)``.
+    """
+    scores = roundtriprank_plus_batch(graph, queries, beta, alpha, **solver_kwargs)
+    return _batch_topk(scores, k, exclude, candidate_mask)
+
+
+def candidates_from_bounds(bounds: CombinedBounds, k: int, n_nodes: int) -> "np.ndarray | None":
+    """A sound candidate mask for exact top-``k`` from Sect. V-A2 bounds.
+
+    Keeps every node whose upper bound reaches the ``k``-th largest lower
+    bound within the r-neighborhood ``S`` — no true top-``k`` member can be
+    pruned.  Returns ``None`` when the bounds cannot prune soundly (fewer
+    than ``k`` nodes in ``S``, or unseen nodes may still reach the
+    threshold), in which case callers fall back to ranking all nodes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if bounds.nodes.size < k:
+        return None
+    if bounds.lower.size == k:
+        threshold = float(bounds.lower.min())
+    else:
+        threshold = float(np.partition(bounds.lower, bounds.lower.size - k)[-k])
+    if bounds.unseen_upper >= threshold:
+        return None  # an unseen node could still belong to the top-k
+    mask = np.zeros(n_nodes, dtype=bool)
+    mask[bounds.nodes[bounds.upper >= threshold]] = True
+    return mask

@@ -54,11 +54,9 @@ def naive_topk(
         f = frank_vector(graph, node, alpha, tol=tol)
         t = trank_vector(graph, node, alpha, tol=tol)
         scores += weight * f * t
-    eligible = np.ones(graph.n_nodes, dtype=bool)
-    if candidate_mask is not None:
-        eligible &= np.asarray(candidate_mask, dtype=bool)
-    if exclude:
-        eligible[list(exclude)] = False
-    idx = np.flatnonzero(eligible)
-    order = idx[np.argsort(-scores[idx], kind="stable")]
-    return ExactTopK(nodes=order[:k].tolist(), scores=scores)
+    # Imported lazily: repro.serving sits above this package (its bounds
+    # hook imports repro.topk), so a module-level import would be circular.
+    from repro.serving.topk import topk_select
+
+    order, _ = topk_select(scores, k, exclude=exclude, candidate_mask=candidate_mask)
+    return ExactTopK(nodes=order.tolist(), scores=scores)

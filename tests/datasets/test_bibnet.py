@@ -1,6 +1,5 @@
 """Tests for the synthetic BibNet generator."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import BibNetConfig, generate_bibnet

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import QLogConfig, generate_qlog
+from repro.datasets import QLogConfig, generate_qlog, sample_zipf_queries
 from repro.datasets.qlog import STOP_WORDS
 
 
@@ -19,7 +19,6 @@ class TestDeterminism:
 class TestBipartiteStructure:
     def test_edges_only_phrase_url(self, small_qlog):
         g = small_qlog.graph
-        phrase_code = g.type_code("phrase")
         coo = g.weights.tocoo()
         for u, v in zip(coo.row.tolist(), coo.col.tolist()):
             assert g.node_types[u] != g.node_types[v]
@@ -110,3 +109,38 @@ class TestConfigValidation:
     def test_rejects_bad_config(self, kwargs):
         with pytest.raises(ValueError):
             QLogConfig(**kwargs)
+
+
+class TestZipfQueries:
+    def test_population_and_length(self):
+        stream = sample_zipf_queries(np.array([5, 9, 11, 40]), 200, seed=1)
+        assert stream.shape == (200,)
+        assert set(stream.tolist()) <= {5, 9, 11, 40}
+
+    def test_int_population_means_range(self):
+        stream = sample_zipf_queries(50, 300, seed=2)
+        assert stream.min() >= 0 and stream.max() < 50
+
+    def test_deterministic_per_seed(self):
+        a = sample_zipf_queries(100, 50, seed=7)
+        b = sample_zipf_queries(100, 50, seed=7)
+        c = sample_zipf_queries(100, 50, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_skew_produces_repetition(self):
+        # Zipf s=1.1 over 500 candidates must repeat heavily in 500 draws —
+        # the property the serving cache exploits.
+        stream = sample_zipf_queries(500, 500, s=1.1, seed=3)
+        assert np.unique(stream).size < 350
+        # and the most popular query dominates a uniform draw's expectation
+        _, counts = np.unique(stream, return_counts=True)
+        assert counts.max() >= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_zipf_queries(0, 10)
+        with pytest.raises(ValueError):
+            sample_zipf_queries(10, 0)
+        with pytest.raises(ValueError):
+            sample_zipf_queries(10, 5, s=0.0)

@@ -76,6 +76,30 @@ class TestFTCache:
         f3, _ = cache.get(0, task.cases[0])
         assert f3 is not f1
 
+    def test_cache_info_counters(self, small_bibnet):
+        task = make_venue_task(small_bibnet, 3, seed=2)
+        cache = FTCache()
+        assert cache.cache_info().misses == 0
+        cache.warm(task.cases)
+        warm_misses = cache.cache_info().misses
+        assert warm_misses > 0
+        cache.get(0, task.cases[0])
+        info = cache.cache_info()
+        assert info.misses == warm_misses  # warm covered it: pure hits now
+        assert info.hits >= 2  # one f and one t column
+
+    def test_bounded_across_graphs(self, small_bibnet):
+        # The paper's edge-removal tasks give every case its own graph; the
+        # cache must stay within its byte budget instead of pinning them all.
+        task = make_venue_task(small_bibnet, 6, seed=2)
+        n_bytes = small_bibnet.graph.n_nodes * 8
+        cache = FTCache(max_bytes=4 * n_bytes)
+        for i, case in enumerate(task.cases):
+            cache.get(i, case)
+            info = cache.cache_info()
+            assert info.current_bytes <= info.max_bytes
+        assert cache.cache_info().evictions > 0
+
 
 class TestEvaluateMeasures:
     def test_multiple_measures(self, small_bibnet):

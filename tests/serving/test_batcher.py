@@ -1,0 +1,177 @@
+"""Tests for the micro-batching scheduler's flush semantics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import frank_vector, roundtriprank, roundtriprank_plus, trank_vector
+from repro.serving import ColumnCache, MicroBatcher
+
+
+class TestSizeTrigger:
+    def test_size_trigger_flushes_inline(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_batch=3)
+        futures = [batcher.submit(q) for q in (0, 1, 2)]
+        # No explicit flush and no background thread: the third submit hit
+        # the size trigger.
+        assert all(f.done() for f in futures)
+        assert batcher.stats.n_flushes == 1
+        assert batcher.stats.n_size_flushes == 1
+        assert batcher.stats.batch_sizes == [3]
+        for q, future in zip((0, 1, 2), futures):
+            assert np.allclose(future.result(), roundtriprank(toy_graph, q), atol=1e-10)
+
+    def test_below_size_trigger_stays_pending(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_batch=10)
+        future = batcher.submit(0)
+        assert not future.done()
+        assert batcher.flush() == 1
+        assert future.done()
+
+
+class TestDeadlineTrigger:
+    def test_deadline_trigger_flushes(self, toy_graph):
+        with MicroBatcher(toy_graph, max_batch=64, max_delay=0.02) as batcher:
+            future = batcher.submit(4)
+            result = future.result(timeout=5.0)
+        assert np.allclose(result, roundtriprank(toy_graph, 4), atol=1e-10)
+        assert batcher.stats.n_deadline_flushes >= 1
+
+    def test_stop_flushes_remaining(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_batch=64, max_delay=30.0).start()
+        future = batcher.submit(1)
+        batcher.stop()  # far before the deadline: stop must not strand it
+        assert future.done()
+
+    def test_submit_after_stop_in_progress_then_restart(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_batch=64, max_delay=0.01)
+        batcher.start()
+        batcher.stop()
+        future = batcher.submit(0)  # stopped batcher still accepts sync use
+        batcher.flush()
+        assert future.done()
+
+
+class TestSingleQueryFallback:
+    def test_ask_solves_one_query(self, toy_graph):
+        batcher = MicroBatcher(toy_graph)
+        result = batcher.ask(5)
+        assert np.allclose(result, roundtriprank(toy_graph, 5), atol=1e-10)
+        assert batcher.stats.batch_sizes == [1]
+
+    def test_ask_topk(self, toy_graph):
+        batcher = MicroBatcher(toy_graph)
+        indices, values = batcher.ask(2, k=4)
+        full = roundtriprank(toy_graph, 2)
+        expected = np.argsort(-full, kind="stable")[:4]
+        assert np.array_equal(indices, expected)
+        assert np.allclose(values, full[expected], atol=1e-10)
+
+
+class TestMeasuresAndCache:
+    @pytest.mark.parametrize(
+        "measure,reference",
+        [
+            ("frank", lambda g, q: frank_vector(g, q)),
+            ("trank", lambda g, q: trank_vector(g, q)),
+            ("roundtriprank", lambda g, q: roundtriprank(g, q)),
+            ("roundtriprank_plus", lambda g, q: roundtriprank_plus(g, q, beta=0.3)),
+        ],
+    )
+    def test_measure_parity(self, toy_graph, measure, reference):
+        batcher = MicroBatcher(toy_graph, measure=measure, beta=0.3, max_batch=4)
+        futures = [batcher.submit(q) for q in (0, 5, 9, 11)]
+        for q, future in zip((0, 5, 9, 11), futures):
+            assert np.allclose(future.result(), reference(toy_graph, q), atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "measure", ["frank", "trank", "roundtriprank", "roundtriprank_plus"]
+    )
+    def test_cached_flush_matches_uncached(self, toy_graph, measure):
+        cache = ColumnCache()
+        cached = MicroBatcher(toy_graph, measure=measure, cache=cache, max_batch=8)
+        plain = MicroBatcher(toy_graph, measure=measure, max_batch=8)
+        queries = [0, 1, [2, 3], {4: 2.0, 5: 1.0}]
+        got = [cached.submit(q) for q in queries]
+        want = [plain.submit(q) for q in queries]
+        cached.flush()
+        plain.flush()
+        for g, w in zip(got, want):
+            assert np.allclose(g.result(), w.result(), atol=1e-9)
+
+    def test_cache_reuse_across_flushes(self, toy_graph):
+        cache = ColumnCache()
+        batcher = MicroBatcher(toy_graph, cache=cache, max_batch=8)
+        batcher.ask(0)
+        misses_after_first = cache.cache_info().misses
+        batcher.ask(0)  # second flush: pure cache hits
+        info = cache.cache_info()
+        assert info.misses == misses_after_first
+        assert info.hits >= 2
+
+    def test_multi_node_query_linearity(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, cache=ColumnCache(), max_batch=2)
+        result = batcher.ask({0: 1.0, 1: 3.0})
+        assert np.allclose(result, roundtriprank(toy_graph, {0: 1.0, 1: 3.0}), atol=1e-9)
+
+
+class TestValidationAndErrors:
+    def test_invalid_query_raises_at_submit(self, toy_graph):
+        batcher = MicroBatcher(toy_graph)
+        with pytest.raises(ValueError):
+            batcher.submit(toy_graph.n_nodes + 5)
+        with pytest.raises(ValueError):
+            batcher.submit(0, k=0)
+
+    def test_invalid_construction(self, toy_graph):
+        with pytest.raises(ValueError):
+            MicroBatcher(toy_graph, measure="pagerank")
+        with pytest.raises(ValueError):
+            MicroBatcher(toy_graph, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(toy_graph, max_delay=0.0)
+
+    def test_solver_errors_propagate_to_futures(self, toy_graph, monkeypatch):
+        batcher = MicroBatcher(toy_graph, max_batch=8)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(
+            "repro.serving.batcher.roundtriprank_batch", boom
+        )
+        futures = [batcher.submit(q) for q in (0, 1)]
+        batcher.flush()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="solver exploded"):
+                future.result(timeout=1.0)
+
+
+class TestConcurrentSubmission:
+    def test_many_threads_all_resolve(self, toy_graph):
+        with MicroBatcher(toy_graph, max_batch=8, max_delay=0.01) as batcher:
+            futures = []
+            lock = threading.Lock()
+
+            def worker(base):
+                for q in range(base, toy_graph.n_nodes, 3):
+                    future = batcher.submit(q)
+                    with lock:
+                        futures.append((q, future))
+
+            threads = [threading.Thread(target=worker, args=(b,)) for b in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            deadline = time.monotonic() + 10.0
+            for q, future in futures:
+                remaining = max(0.1, deadline - time.monotonic())
+                assert np.allclose(
+                    future.result(timeout=remaining),
+                    roundtriprank(toy_graph, q),
+                    atol=1e-9,
+                )
+        assert batcher.stats.n_submitted == toy_graph.n_nodes

@@ -1,0 +1,169 @@
+"""Tests for the serving-layer column cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import frank_batch, trank_batch
+from repro.serving import CacheInfo, ColumnCache, graph_token
+
+
+class TestCorrectness:
+    def test_hit_returns_bit_exact_column(self, toy_graph):
+        cache = ColumnCache()
+        first = cache.get(toy_graph, "f", 0)
+        again = cache.get(toy_graph, "f", 0)
+        assert again is first  # the stored array itself: bit-exact by identity
+        expected = frank_batch(toy_graph, [0], cache.alpha)[:, 0]
+        assert np.array_equal(first, expected)
+
+    def test_t_columns_match_engine(self, toy_graph):
+        cache = ColumnCache()
+        t = cache.get(toy_graph, "t", 3)
+        expected = trank_batch(toy_graph, [3], cache.alpha)[:, 0]
+        assert np.array_equal(t, expected)
+
+    def test_columns_are_read_only(self, toy_graph):
+        cache = ColumnCache()
+        column = cache.get(toy_graph, "f", 1)
+        with pytest.raises(ValueError):
+            column[0] = 123.0
+
+    def test_alpha_is_part_of_the_key(self, toy_graph):
+        cache = ColumnCache()
+        a = cache.get(toy_graph, "f", 0, alpha=0.25)
+        b = cache.get(toy_graph, "f", 0, alpha=0.5)
+        assert not np.array_equal(a, b)
+        assert cache.cache_info().entries == 2
+
+    def test_kind_is_part_of_the_key(self, toy_graph):
+        cache = ColumnCache()
+        cache.get(toy_graph, "f", 0)
+        cache.get(toy_graph, "t", 0)
+        assert cache.cache_info().entries == 2
+
+    def test_graphs_do_not_alias(self, toy_graph, line_graph):
+        cache = ColumnCache()
+        a = cache.get(toy_graph, "f", 0)
+        b = cache.get(line_graph, "f", 0)
+        assert a.shape != b.shape
+        assert graph_token(toy_graph) != graph_token(line_graph)
+
+    def test_invalid_kind_rejected(self, toy_graph):
+        cache = ColumnCache()
+        with pytest.raises(ValueError):
+            cache.get(toy_graph, "x", 0)
+
+    def test_get_many_handles_duplicates(self, toy_graph):
+        cache = ColumnCache()
+        cols = cache.get_many(toy_graph, "f", [2, 2, 5, 2])
+        assert len(cols) == 4
+        assert cols[0] is cols[1] and cols[1] is cols[3]
+        info = cache.cache_info()
+        assert info.misses == 2  # two distinct nodes solved once each
+        assert info.hits == 2
+
+
+class TestEviction:
+    def _column_bytes(self, graph):
+        return graph.n_nodes * 8
+
+    def test_lru_eviction_order(self, toy_graph):
+        one = self._column_bytes(toy_graph)
+        cache = ColumnCache(max_bytes=2 * one)
+        cache.get(toy_graph, "f", 0)  # A
+        cache.get(toy_graph, "f", 1)  # B
+        cache.get(toy_graph, "f", 0)  # touch A: B is now least recent
+        cache.get(toy_graph, "f", 2)  # C evicts B
+        info = cache.cache_info()
+        assert info.evictions == 1
+        hits_before = info.hits
+        cache.get(toy_graph, "f", 0)  # A still cached
+        assert cache.cache_info().hits == hits_before + 1
+        misses_before = cache.cache_info().misses
+        cache.get(toy_graph, "f", 1)  # B was evicted: a miss again
+        assert cache.cache_info().misses == misses_before + 1
+
+    def test_byte_budget_never_exceeded(self, toy_graph, small_bibnet):
+        one_toy = self._column_bytes(toy_graph)
+        cache = ColumnCache(max_bytes=3 * one_toy + 1)
+        rng = np.random.default_rng(3)
+        for node in rng.integers(0, toy_graph.n_nodes, size=60).tolist():
+            cache.get(toy_graph, "f" if node % 2 else "t", int(node))
+            info = cache.cache_info()
+            assert info.current_bytes <= info.max_bytes
+        # A column larger than the whole budget is served but not stored.
+        big = cache.get(small_bibnet.graph, "f", 0)
+        assert big.shape == (small_bibnet.graph.n_nodes,)
+        info = cache.cache_info()
+        assert info.current_bytes <= info.max_bytes
+
+    def test_clear_resets_bytes_but_not_counters(self, toy_graph):
+        cache = ColumnCache()
+        cache.get(toy_graph, "f", 0)
+        cache.clear()
+        info = cache.cache_info()
+        assert info.entries == 0 and info.current_bytes == 0
+        assert info.misses == 1  # counters keep accumulating
+        fresh = cache.get(toy_graph, "f", 0)
+        assert fresh is not None
+        assert cache.cache_info().misses == 2
+
+
+class TestWarmAndInfo:
+    def test_warm_batches_then_hits(self, toy_graph):
+        cache = ColumnCache()
+        nodes = [0, 3, 7]
+        cache.warm(toy_graph, nodes)
+        info = cache.cache_info()
+        assert info.entries == 2 * len(nodes)
+        assert info.misses == 2 * len(nodes)
+        cache.get(toy_graph, "f", 3)
+        cache.get(toy_graph, "t", 7)
+        assert cache.cache_info().hits == 2
+        # warm results match per-column engine solves
+        f = cache.get(toy_graph, "f", 0)
+        assert np.allclose(f, frank_batch(toy_graph, [0], cache.alpha)[:, 0], atol=1e-10)
+
+    def test_cache_info_snapshot(self, toy_graph):
+        cache = ColumnCache(max_bytes=12345)
+        info = cache.cache_info()
+        assert isinstance(info, CacheInfo)
+        assert info == CacheInfo(
+            hits=0, misses=0, evictions=0, entries=0, current_bytes=0, max_bytes=12345
+        )
+        assert info.hit_rate == 0.0
+        cache.get(toy_graph, "f", 0)
+        cache.get(toy_graph, "f", 0)
+        assert cache.cache_info().hit_rate == pytest.approx(0.5)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnCache(max_bytes=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_gets_are_consistent(self, toy_graph):
+        cache = ColumnCache()
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for node in rng.integers(0, toy_graph.n_nodes, size=40).tolist():
+                    column = cache.get(toy_graph, "f", int(node))
+                    expected = frank_batch(toy_graph, [int(node)], cache.alpha)[:, 0]
+                    if not np.allclose(column, expected, atol=1e-9):
+                        errors.append(node)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = cache.cache_info()
+        assert info.hits + info.misses == 4 * 40

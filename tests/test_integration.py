@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full paper pipeline at small scale."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     AdamicAdarMeasure,
