@@ -1,11 +1,13 @@
 """CI smoke-benchmark driver: one machine-readable perf record per commit.
 
 Merges the metrics the smoke benchmarks wrote via ``report_json``
-(``benchmarks/results/batch_engine.json`` and ``serving.json``) into
-``benchmarks/results/ci_smoke.json``, which the CI workflow uploads as an
-artifact — giving every commit a comparable record of the perf trajectory
-(batch speedup, walk throughput, cache hit-rate, warm/cold serving latency,
-micro-batch amortization).
+(``benchmarks/results/batch_engine.json``, ``serving.json`` and
+``parallel.json``) into ``benchmarks/results/ci_smoke.json``, which the CI
+workflow uploads as an artifact — giving every commit a comparable record
+of the perf trajectory (batch speedup, walk throughput, cache hit-rate,
+warm/cold serving latency, micro-batch amortization, and the ``workers=2``
+sharded-solver leg: walltime per worker count plus the power/auto parity
+columns must hold even on a one-core CI runner).
 
 A missing or non-smoke input is recomputed in its smoke configuration, so
 the script also works standalone::
@@ -25,6 +27,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 os.environ["REPRO_BENCH_BATCH_SMOKE"] = "1"
 os.environ["REPRO_BENCH_SERVING_SMOKE"] = "1"
+os.environ["REPRO_BENCH_PARALLEL_SMOKE"] = "1"
 
 from benchmarks.common import RESULTS_DIR  # noqa: E402
 
@@ -41,7 +44,7 @@ def _metrics(name: str, rerun) -> dict:
 
 
 def main() -> int:
-    from benchmarks import bench_batch_engine, bench_serving
+    from benchmarks import bench_batch_engine, bench_parallel, bench_serving
 
     payload = {
         "schema": 1,
@@ -53,6 +56,9 @@ def main() -> int:
         ),
         "serving": _metrics(
             "serving", lambda: bench_serving.run_serving(*bench_serving._setup())
+        ),
+        "parallel": _metrics(
+            "parallel", lambda: bench_parallel.run_parallel(*bench_parallel._setup())
         ),
     }
     RESULTS_DIR.mkdir(exist_ok=True)

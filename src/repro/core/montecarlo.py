@@ -25,7 +25,7 @@ from repro.core.frank import DEFAULT_ALPHA
 from repro.engine.walks import get_walk_engine, sample_geometric_lengths
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_in_range, check_node_id
+from repro.utils.validation import check_in_range, check_node_id, check_positive_int
 
 #: Cap on simultaneous walkers per vectorized block, bounding the working
 #: set of the all-sources T-Rank estimator on large graphs.
@@ -61,10 +61,11 @@ def walk_steps(graph: DiGraph, start: int, n_steps: int, rng: np.random.Generato
 
 
 def _check_mc_args(alpha: float, n_samples: int) -> None:
-    """Shared estimator validation: ``alpha`` in (0, 1), ``n_samples`` > 0."""
+    """Shared estimator validation: ``alpha`` in (0, 1), ``n_samples`` a
+    positive integer — the same contract the walk samplers enforce
+    (:func:`repro.utils.validation.check_positive_int`)."""
     check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
-    if n_samples <= 0:
-        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    check_positive_int(n_samples, "n_samples")
 
 
 def _chunked_trip_counts(engine, start, alpha, n_samples, rng, n_nodes):

@@ -335,12 +335,29 @@ def frank_batch(
     max_iter: int = 1000,
     warn_on_nonconvergence: bool = True,
     method: str = "auto",
+    workers: "int | None" = None,
 ) -> np.ndarray:
     """F-Rank of every node for every query, as an ``n x q`` column stack.
 
     Column ``j`` equals ``frank_vector(graph, queries[j], alpha)`` (to the
     verified ``tol``; bit-exact with ``method="power"``).
+
+    ``workers`` shards the columns across the :mod:`repro.parallel` process
+    pool (the operator is shared zero-copy); small batches automatically
+    fall back to this sequential path — see
+    :func:`repro.parallel.effective_workers`.  Results are independent of
+    the worker count (bit-exact for ``method="power"``, within the verified
+    residual ``tol`` for ``method="auto"``).
     """
+    if workers is not None:
+        from repro.parallel.pool import maybe_solve_batch_parallel
+
+        result = maybe_solve_batch_parallel(
+            graph, queries, True, alpha, tol, max_iter,
+            warn_on_nonconvergence, method, workers,
+        )
+        if result is not None:
+            return result
     s = stack_teleports(graph, queries)
     return power_iteration_batch(
         _prepared_operator(graph, True, np.float64),
@@ -362,12 +379,23 @@ def trank_batch(
     max_iter: int = 1000,
     warn_on_nonconvergence: bool = True,
     method: str = "auto",
+    workers: "int | None" = None,
 ) -> np.ndarray:
     """T-Rank of every node for every query, as an ``n x q`` column stack.
 
     Column ``j`` equals ``trank_vector(graph, queries[j], alpha)`` (to the
-    verified ``tol``; bit-exact with ``method="power"``).
+    verified ``tol``; bit-exact with ``method="power"``).  ``workers``
+    behaves exactly as in :func:`frank_batch`.
     """
+    if workers is not None:
+        from repro.parallel.pool import maybe_solve_batch_parallel
+
+        result = maybe_solve_batch_parallel(
+            graph, queries, False, alpha, tol, max_iter,
+            warn_on_nonconvergence, method, workers,
+        )
+        if result is not None:
+            return result
     s = stack_teleports(graph, queries)
     return power_iteration_batch(
         _prepared_operator(graph, False, np.float64),
@@ -389,6 +417,7 @@ def _per_node_ft(
     max_iter: int,
     warn_on_nonconvergence: bool,
     method: str,
+    workers: "int | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray, dict[int, int]]":
     """Batched (F, T) columns for the union of single query nodes.
 
@@ -400,8 +429,8 @@ def _per_node_ft(
     all_nodes = np.unique(np.concatenate([nodes for nodes, _ in parsed]))
     columns = [int(v) for v in all_nodes]
     col_of = {v: j for j, v in enumerate(columns)}
-    f = frank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method)
-    t = trank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method)
+    f = frank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method, workers)
+    t = trank_batch(graph, columns, alpha, tol, max_iter, warn_on_nonconvergence, method, workers)
     return f, t, col_of
 
 
@@ -434,13 +463,15 @@ def roundtriprank_batch(
     max_iter: int = 1000,
     warn_on_nonconvergence: bool = True,
     method: str = "auto",
+    workers: "int | None" = None,
 ) -> np.ndarray:
     """RoundTripRank of every node for every query, as an ``n x q`` stack.
 
     Column ``j`` equals ``roundtriprank(graph, queries[j], alpha)``.  All
     distinct query nodes across the batch share two multi-column solves (F
     and T); per-query scores are the weighted per-node ``f * t`` products of
-    Proposition 2.
+    Proposition 2.  ``workers`` shards both solves across the
+    :mod:`repro.parallel` pool as in :func:`frank_batch`.
 
     With ``normalize=True`` each column sums to one *when it has positive
     mass*; a zero-mass column stays all-zeros and triggers a
@@ -450,7 +481,7 @@ def roundtriprank_batch(
         raise ValueError("queries must not be empty")
     parsed = [normalize_query(graph, q) for q in queries]
     f, t, col_of = _per_node_ft(
-        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method
+        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method, workers
     )
     scores = np.zeros((graph.n_nodes, len(queries)))
     for j, (nodes, weights) in enumerate(parsed):
@@ -470,12 +501,13 @@ def roundtriprank_plus_batch(
     max_iter: int = 1000,
     warn_on_nonconvergence: bool = True,
     method: str = "auto",
+    workers: "int | None" = None,
 ) -> np.ndarray:
     """RoundTripRank+ (Eq. 12) of every node for every query, ``n x q``.
 
     Column ``j`` equals ``roundtriprank_plus(graph, queries[j], beta, alpha)``
     — the ``f^(1-beta) * t^beta`` combination, unnormalized as in the
-    single-query function.
+    single-query function.  ``workers`` behaves as in :func:`frank_batch`.
     """
     # Imported lazily: roundtrip_plus rewires onto this module, so a
     # module-level import would be circular.
@@ -485,7 +517,7 @@ def roundtriprank_plus_batch(
         raise ValueError("queries must not be empty")
     parsed = [normalize_query(graph, q) for q in queries]
     f, t, col_of = _per_node_ft(
-        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method
+        graph, parsed, alpha, tol, max_iter, warn_on_nonconvergence, method, workers
     )
     scores = np.zeros((graph.n_nodes, len(queries)))
     for j, (nodes, weights) in enumerate(parsed):

@@ -24,9 +24,11 @@ import weakref
 
 import numpy as np
 
+import scipy.sparse as sp
+
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_in_range
+from repro.utils.validation import check_in_range, check_positive_int
 
 #: Per-graph engine cache so repeated estimator calls do not redo the
 #: O(n_edges) cumulative-sum precomputation.  Weak keys let graphs die.
@@ -50,10 +52,13 @@ def sample_geometric_lengths(
     The batched counterpart of
     :func:`repro.core.montecarlo.sample_geometric_length`: ``p(L = l) =
     (1 - alpha)^l * alpha`` (number of *failures* before the first success).
+
+    ``size`` follows the Monte Carlo estimators' sample-count contract
+    (:func:`repro.utils.validation.check_positive_int`): zero and negative
+    counts fail loudly instead of silently yielding an empty draw.
     """
     alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
-    if size < 0:
-        raise ValueError(f"size must be >= 0, got {size}")
+    size = check_positive_int(size, "size")
     return rng.geometric(alpha, size=size).astype(np.int64) - 1
 
 
@@ -65,11 +70,27 @@ class WalkEngine:
     """
 
     def __init__(self, graph: DiGraph) -> None:
-        p = graph.transition
+        self._init_from(graph.transition, graph)
+
+    @classmethod
+    def from_transition(cls, transition: sp.csr_matrix) -> "WalkEngine":
+        """An engine walking directly on a row-stochastic CSR matrix.
+
+        Used by the parallel shard workers, which attach the transition via
+        shared memory and have no :class:`DiGraph` object; :attr:`graph` is
+        ``None`` on such engines.  The matrix rows must each sum to one with
+        at least one entry (the :attr:`DiGraph.transition` invariants).
+        """
+        engine = object.__new__(cls)
+        engine._init_from(sp.csr_matrix(transition), None)
+        return engine
+
+    def _init_from(self, p: sp.csr_matrix, graph: "DiGraph | None") -> None:
         indptr = p.indptr
-        if np.any(np.diff(indptr) == 0):  # pragma: no cover - transition invariant
+        if np.any(np.diff(indptr) == 0):
             raise ValueError("every transition row must have at least one out-edge")
         self._graph = graph
+        self._n = p.shape[0]
         self._indices = p.indices.astype(np.int64, copy=False)
         #: global running cumulative sum of transition probabilities.
         self._cum = np.cumsum(p.data)
@@ -82,9 +103,15 @@ class WalkEngine:
         self._row_last = indptr[1:] - 1
 
     @property
-    def graph(self) -> DiGraph:
-        """The graph this engine walks on."""
+    def graph(self) -> "DiGraph | None":
+        """The graph this engine walks on (``None`` for detached engines
+        built with :meth:`from_transition`)."""
         return self._graph
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes of the walked transition matrix."""
+        return self._n
 
     def step(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Advance every walker in ``nodes`` by one random step.
@@ -121,7 +148,7 @@ class WalkEngine:
                 f"starts and lengths must be 1-D and equal length, "
                 f"got shapes {nodes.shape} and {remaining.shape}"
             )
-        n = self._graph.n_nodes
+        n = self._n
         if nodes.size:
             if nodes.min() < 0 or nodes.max() >= n:
                 raise ValueError(f"start nodes must be in [0, {n - 1}]")
@@ -145,7 +172,12 @@ class WalkEngine:
 
         One entry per trip: the node where a walk of length ``L ~ Geo(alpha)``
         from ``start`` ends (the paper's Eq. 1 trip semantics).
+
+        ``n_samples`` must be a positive integer — the same validation the
+        Monte Carlo estimators apply (see
+        :func:`repro.utils.validation.check_positive_int`).
         """
+        n_samples = check_positive_int(n_samples, "n_samples")
         rng = ensure_rng(rng)
         lengths = sample_geometric_lengths(alpha, n_samples, rng)
         starts = np.full(n_samples, start, dtype=np.int64)

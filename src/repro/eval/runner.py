@@ -75,12 +75,21 @@ class FTCache:
         alpha: float = DEFAULT_ALPHA,
         max_bytes: "int | None" = None,
         cache: "ColumnCache | None" = None,
+        workers: "int | None" = None,
     ) -> None:
         self.alpha = alpha
         if cache is None:
             cache = ColumnCache(
                 max_bytes=max_bytes if max_bytes is not None else DEFAULT_MAX_BYTES,
                 alpha=alpha,
+                workers=workers,
+            )
+        elif workers is not None:
+            # Solver settings live on the cache (the key-consistency
+            # contract); silently ignoring the request would let a caller
+            # believe the sweep was parallelized when nothing changed.
+            raise ValueError(
+                "pass workers on the ColumnCache itself when supplying an explicit cache"
             )
         self._columns = cache
         #: composed multi-node pairs (LRU, entry-capped) so repeated ``get``
@@ -105,9 +114,11 @@ class FTCache:
     def get(self, case_key: int, case: QueryCase) -> tuple[np.ndarray, np.ndarray]:
         """The (f, t) pair for a case, computing it on first access.
 
-        Single-node cases return the cached columns themselves (read-only,
-        bit-exact across hits); multi-node cases return the weighted
-        combination of their nodes' columns.
+        Every returned array is read-only and shared across hits (single-node
+        cases return the cached columns themselves; multi-node cases the
+        memoized weighted combination) — a caller mutating a returned vector
+        would otherwise silently corrupt every future hit of the same case.
+        Copy before mutating.
         """
         nodes, weights = normalize_query(case.graph, case.query)
         graph = case.graph
@@ -127,6 +138,8 @@ class FTCache:
             for w, fc, tc in zip(weights.tolist(), f_cols, t_cols):
                 f += w * fc
                 t += w * tc
+            f.setflags(write=False)
+            t.setflags(write=False)
             pair = (f, t)
             self._composed[memo_key] = pair
             while len(self._composed) > self._COMPOSED_MAX_ENTRIES:
@@ -186,9 +199,16 @@ def evaluate_measures(
     task: RankingTask,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     alpha: float = DEFAULT_ALPHA,
+    workers: "int | None" = None,
 ) -> dict[str, MeasureTaskResult]:
-    """Evaluate several measures on one task with a shared (f, t) cache."""
-    cache = FTCache(alpha)
+    """Evaluate several measures on one task with a shared (f, t) cache.
+
+    ``workers`` shards the cache-warming column solves across the
+    :mod:`repro.parallel` process pool — the sweep's dominant cost is the
+    batched F/T solves during :meth:`FTCache.warm`, which parallelize
+    per-column; scoring and NDCG stay in-process.
+    """
+    cache = FTCache(alpha, workers=workers)
     results = {}
     for measure in measures:
         results[measure.name] = evaluate_measure(measure, task, k_values, ft_cache=cache)
@@ -201,16 +221,19 @@ def tune_beta(
     betas: Sequence[float] = tuple(np.round(np.linspace(0.0, 1.0, 11), 2)),
     k: int = 5,
     alpha: float = DEFAULT_ALPHA,
+    workers: "int | None" = None,
 ) -> tuple[float, dict[float, float]]:
     """Pick the beta maximizing mean NDCG@k on development queries.
 
     Returns ``(best_beta, {beta: mean_ndcg})``.  Ties prefer the beta
     closest to 0.5 (the paper's default), then the smaller beta, making the
-    choice deterministic.
+    choice deterministic.  The (f, t) cache is shared across the whole
+    sweep, so the solves happen once; ``workers`` shards them as in
+    :func:`evaluate_measures`.
     """
     if not isinstance(measure, ProximityMeasure):
         raise TypeError("measure must be a ProximityMeasure with a tunable beta")
-    cache = FTCache(alpha)
+    cache = FTCache(alpha, workers=workers)
     curve: dict[float, float] = {}
     for beta in betas:
         candidate = measure.with_beta(float(beta))
@@ -282,11 +305,16 @@ def run_task_suite(
     tasks: Sequence[RankingTask],
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     alpha: float = DEFAULT_ALPHA,
+    workers: "int | None" = None,
 ) -> TaskSuiteResult:
-    """Evaluate every measure on every task (one shared FT cache per task)."""
+    """Evaluate every measure on every task (one shared FT cache per task).
+
+    ``workers`` shards each task's cache-warming solves across the process
+    pool (see :func:`evaluate_measures`).
+    """
     suite = TaskSuiteResult(k_values=tuple(k_values))
     for task in tasks:
-        per_task = evaluate_measures(measures, task, k_values, alpha)
+        per_task = evaluate_measures(measures, task, k_values, alpha, workers=workers)
         for result in per_task.values():
             suite.add(result)
     return suite

@@ -1,0 +1,57 @@
+"""Multi-process execution layer: sharded batch solves over shared memory.
+
+The single-process batch engine tops out at one core; this package lifts
+the multi-query paths onto a process pool:
+
+- :mod:`repro.parallel.shm` — publish the CSR operator once into
+  ``multiprocessing.shared_memory``; workers attach zero-copy
+  (:class:`SharedCSR` / :func:`attach_csr` / picklable :class:`CSRHandle`).
+- :mod:`repro.parallel.pool` — the ``spawn``-based worker pool, the
+  column-striped shard solver (:func:`solve_columns_parallel`, reusing
+  :class:`repro.distributed.StripeMap` for assignment), the
+  :func:`effective_workers` crossover heuristic, and :func:`shutdown`
+  (pool teardown + segment unlink, also wired to ``atexit``).
+- :mod:`repro.parallel.walks` — :func:`sample_trip_terminals_parallel`,
+  sharded Monte Carlo trips with per-shard ``SeedSequence.spawn`` streams
+  (reproducible for fixed ``(seed, workers)``).
+
+Callers rarely touch this package directly: every batch entry point grew a
+``workers=`` knob that routes here —
+``frank_batch(graph, queries, workers=4)``,
+``roundtriprank_batch(..., workers=4)``,
+``MicroBatcher(graph, workers=4)``, ``ColumnCache(workers=4)``,
+``run_task_suite(..., workers=4)``.  ``method="power"`` results are
+bit-exact for any worker count; ``method="auto"`` stays within the verified
+residual tolerance.  Small batches fall back to the sequential path
+automatically (see :func:`effective_workers`).
+"""
+
+from repro.parallel.pool import (
+    PARALLEL_MIN_QUERIES,
+    PoolRetiredError,
+    WorkerPool,
+    effective_workers,
+    get_pool,
+    shared_operator,
+    shutdown,
+    solve_columns_parallel,
+)
+from repro.parallel.shm import CSRHandle, SharedCSR, attach_csr, live_segment_names
+from repro.parallel.walks import PARALLEL_MIN_SAMPLES, sample_trip_terminals_parallel
+
+__all__ = [
+    "PARALLEL_MIN_QUERIES",
+    "PARALLEL_MIN_SAMPLES",
+    "PoolRetiredError",
+    "WorkerPool",
+    "effective_workers",
+    "get_pool",
+    "shared_operator",
+    "shutdown",
+    "solve_columns_parallel",
+    "CSRHandle",
+    "SharedCSR",
+    "attach_csr",
+    "live_segment_names",
+    "sample_trip_terminals_parallel",
+]

@@ -1,0 +1,115 @@
+"""Sharded Monte Carlo trip sampling over the worker pool.
+
+:class:`repro.engine.walks.WalkEngine` advances all walkers of one process
+vectorially, but a single process still owns every walker.  This module
+splits a trip-sampling request into ``workers`` shards, each with its own
+:class:`numpy.random.SeedSequence` child stream, and runs the shards on the
+shared process pool against the shared transition matrix.
+
+Reproducibility contract
+------------------------
+For a fixed ``(seed, workers)`` pair the concatenated terminals are
+identical on every run *and on every execution mode*: the shard split and
+the per-shard streams are pure functions of ``(seed, workers, n_samples)``,
+and a worker's engine is built from the shared-memory copy of the exact
+transition bytes the parent would use, so running the shards inline (the
+small-sample fallback, or ``workers=1``) produces the same array as running
+them in the pool.  Different ``workers`` values are different (equally
+valid) samples — the guarantee is per ``(seed, workers)``, matching how
+``SeedSequence.spawn`` is meant to be used.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.engine.walks import WalkEngine, get_walk_engine
+from repro.graph.digraph import DiGraph
+from repro.parallel.pool import _discard_default_pool, _pool_submit, shared_operator
+from repro.parallel.shm import CSRHandle
+from repro.utils.validation import check_in_range, check_node_id, check_positive_int
+
+#: below this many samples the pool task overhead dominates; shards run
+#: inline (the result is identical either way — see the module docstring).
+PARALLEL_MIN_SAMPLES = 8192
+
+
+def _shard_sizes(n_samples: int, workers: int) -> "list[int]":
+    base, extra = divmod(n_samples, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def _sample_walk_shard(
+    handle: CSRHandle,
+    start: int,
+    alpha: float,
+    count: int,
+    stream: np.random.SeedSequence,
+) -> np.ndarray:
+    """One shard's trip terminals, computed inside a pool worker.
+
+    The engine is cached on the worker's shared per-handle LRU entry (see
+    ``repro.parallel.pool._worker_entry``), so it is evicted together with
+    the segments it walks on.
+    """
+    from repro.parallel.pool import _worker_entry
+
+    entry = _worker_entry(handle)
+    engine = entry.get("engine")
+    if engine is None:
+        engine = WalkEngine.from_transition(entry["matrix"])
+        entry["engine"] = engine
+    return engine.sample_trip_terminals(start, alpha, count, np.random.default_rng(stream))
+
+
+def sample_trip_terminals_parallel(
+    graph: DiGraph,
+    start: int,
+    alpha: float,
+    n_samples: int,
+    seed: "int | np.random.SeedSequence | None" = None,
+    workers: int = 2,
+) -> np.ndarray:
+    """Terminals of ``n_samples`` geometric-length trips, sampled in shards.
+
+    The sharded counterpart of
+    :meth:`repro.engine.walks.WalkEngine.sample_trip_terminals`: shard ``i``
+    draws its lengths and steps from ``SeedSequence(seed).spawn(workers)[i]``,
+    so the result is reproducible for fixed ``(seed, workers)`` (pass
+    ``seed=None`` for fresh OS entropy).  Terminals are concatenated in
+    shard order; each terminal is one draw from the same trip distribution,
+    so shard boundaries carry no meaning beyond reproducibility.
+    """
+    alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    start = check_node_id(start, graph.n_nodes, "start")
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, n_samples)
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    streams = root.spawn(workers)
+    counts = _shard_sizes(n_samples, workers)
+
+    if workers == 1 or n_samples < PARALLEL_MIN_SAMPLES:
+        engine = get_walk_engine(graph)
+        shards = [
+            engine.sample_trip_terminals(start, alpha, count, np.random.default_rng(stream))
+            for count, stream in zip(counts, streams)
+        ]
+        return np.concatenate(shards)
+
+    handle = shared_operator(graph, transpose=False)
+    try:
+        futures = [
+            _pool_submit(workers, _sample_walk_shard, handle, start, alpha, count, stream)
+            for count, stream in zip(counts, streams)
+        ]
+        return np.concatenate([future.result() for future in futures])
+    except BrokenProcessPool:
+        # Mirror solve_columns_parallel: a hard worker death must not leave
+        # the broken executor installed, or every later call fails too.
+        _discard_default_pool()
+        raise

@@ -38,8 +38,14 @@ under the lock so concurrent readers never duplicate a solve.
 ``MicroBatcher`` accepts ``submit``/``flush``/``ask`` from any thread; the
 queue lock is never held during a solve, futures resolve exactly once, and
 solver failures propagate through ``Future.set_exception`` to every query of
-the failed batch.  Fused top-k functions are pure and hence trivially
-thread-safe.
+the failed batch.  ``stop()`` pauses the deadline thread (restartable);
+``close()`` is terminal and idempotent — it flushes every outstanding
+future and makes ``submit``/``ask``/``start`` raise.  Fused top-k functions
+are pure and hence trivially thread-safe.
+
+Both ``ColumnCache`` and ``MicroBatcher`` take ``workers=`` to shard their
+solves across the :mod:`repro.parallel` process pool; worker count never
+changes results (it is deliberately not part of the cache key).
 """
 
 from repro.serving.batcher import BatcherStats, MicroBatcher

@@ -98,10 +98,28 @@ class MicroBatcher:
         Optional :class:`ColumnCache`; flushes then solve only uncached
         query nodes and memoize the new columns.  Column solves follow the
         *cache's* solver configuration (its ``tol`` / ``max_iter`` /
-        ``method``), not this batcher's — the cache key contract requires
-        all entries of one cache to be mutually consistent, so a cache
-        shared between batchers cannot honor per-batcher solver settings.
-        This batcher's solver arguments apply only when ``cache`` is None.
+        ``method`` / ``workers``), not this batcher's — the cache key
+        contract requires all entries of one cache to be mutually
+        consistent, so a cache shared between batchers cannot honor
+        per-batcher solver settings.  This batcher's solver arguments apply
+        only when ``cache`` is None.
+    workers:
+        Shard each flush's multi-column solve across the
+        :mod:`repro.parallel` process pool; small flushes fall back to the
+        sequential solver via the crossover heuristic
+        (:func:`repro.parallel.effective_workers`), so the pool only kicks
+        in when a flush is big enough to amortize dispatch.  Applies to the
+        uncached path; with a cache attached, set ``workers`` on the cache.
+
+    Lifecycle
+    ---------
+    ``start()``/``stop()`` pause and resume the background deadline thread;
+    a stopped batcher still serves the synchronous ``submit``/``flush``/
+    ``ask`` path and may be started again.  ``close()`` is terminal and
+    idempotent: it stops the thread, flushes (resolving every outstanding
+    future), and permanently rejects new work — ``submit``/``ask`` raise
+    ``RuntimeError``, as does ``start()``.  The context manager form closes
+    on exit.
 
     Thread safety: ``submit`` / ``flush`` / ``ask`` may be called from any
     number of threads.  The queue is guarded by one lock; solves run outside
@@ -123,6 +141,7 @@ class MicroBatcher:
         tol: float = 1e-12,
         max_iter: int = 1000,
         method: str = "auto",
+        workers: "int | None" = None,
     ) -> None:
         if measure not in MEASURES:
             raise ValueError(f"measure must be one of {MEASURES}, got {measure!r}")
@@ -141,12 +160,14 @@ class MicroBatcher:
         self.tol = tol
         self.max_iter = max_iter
         self.method = method
+        self.workers = workers
         self.stats = BatcherStats()
         self._pending: "list[_Request]" = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._thread: "threading.Thread | None" = None
         self._stopping = False
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Submission API
@@ -157,7 +178,8 @@ class MicroBatcher:
 
         The future's result is the full score vector, or an
         ``(indices, scores)`` top-``k`` pair when ``k`` is given.  Invalid
-        queries raise here (synchronously), never through the future.
+        queries raise here (synchronously), never through the future;
+        submitting to a closed batcher raises ``RuntimeError``.
         """
         nodes, weights = normalize_query(self.graph, query)  # validates now
         if k is not None and k < 1:
@@ -171,8 +193,10 @@ class MicroBatcher:
             enqueued_at=time.monotonic(),
         )
         with self._lock:
-            if self._stopping:
-                raise RuntimeError("MicroBatcher is stopped")
+            if self._closed:
+                raise RuntimeError(
+                    "MicroBatcher is closed; create a new instance to submit queries"
+                )
             self._pending.append(request)
             self.stats.n_submitted += 1
             size_trigger = len(self._pending) >= self.max_batch
@@ -206,8 +230,17 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
 
     def start(self) -> "MicroBatcher":
-        """Start the background deadline-flush thread (idempotent)."""
+        """Start the background deadline-flush thread (idempotent).
+
+        Raises ``RuntimeError`` on a closed batcher: the close contract
+        promises no future is ever created after :meth:`close` resolved the
+        outstanding ones, so a closed batcher cannot come back to life.
+        """
         with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "MicroBatcher is closed and cannot be restarted; create a new instance"
+                )
             if self._thread is not None:
                 return self
             self._stopping = False
@@ -218,7 +251,15 @@ class MicroBatcher:
         return self
 
     def stop(self) -> None:
-        """Stop the deadline thread, flushing whatever is still queued."""
+        """Pause the deadline thread, flushing whatever is still queued.
+
+        Every future submitted *before* ``stop()`` was called is resolved by
+        the time it returns.  A submit racing ``stop()`` (or arriving after
+        it) lands in paused-mode sync use: it is served by the next
+        ``flush()``, size trigger, or ``start()`` — the same contract as any
+        submit to a never-started batcher.  Use :meth:`close` for a terminal
+        shutdown that rejects such stragglers outright.
+        """
         with self._lock:
             thread = self._thread
             self._thread = None
@@ -226,15 +267,38 @@ class MicroBatcher:
             self._wakeup.notify_all()
         if thread is not None:
             thread.join()
-        self.flush()  # no future may be left unresolved
         with self._lock:
             self._stopping = False
+        # Last action on purpose: resolves everything submitted before the
+        # pause, narrowing the race window for concurrent submits to the
+        # post-stop (explicitly paused) state.
+        self.flush()
+
+    def close(self) -> None:
+        """Terminal shutdown: stop the thread, flush, reject further work.
+
+        Idempotent.  The closed flag is set *before* the final flush, so no
+        concurrent ``submit`` can slip a request in after the flush that
+        resolves the last futures — nothing is ever enqueued into a dead
+        batcher.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.stop()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
 
     def __enter__(self) -> "MicroBatcher":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
-        self.stop()
+        self.close()
 
     def _deadline_loop(self) -> None:
         while True:
@@ -292,7 +356,10 @@ class MicroBatcher:
         queries = [request.query for request in batch]
         if self.cache is None:
             solver_kwargs = dict(
-                tol=self.tol, max_iter=self.max_iter, method=self.method
+                tol=self.tol,
+                max_iter=self.max_iter,
+                method=self.method,
+                workers=self.workers,
             )
             if self.measure == "frank":
                 return frank_batch(self.graph, queries, self.alpha, **solver_kwargs)

@@ -112,6 +112,13 @@ class ColumnCache:
         Solver configuration used for cache misses; part of the consistency
         contract (``alpha`` may also be overridden per call, it is part of
         the key).  ``method="auto"`` is the batch engine's accelerated path.
+    workers:
+        Shard miss solves across the :mod:`repro.parallel` process pool;
+        small miss batches fall back to the sequential solver automatically
+        (:func:`repro.parallel.effective_workers`).  Not part of the cache
+        key: worker count never changes what a column converges to (the
+        residual contract, bit-exact under ``method="power"``), only how
+        fast a cold batch fills.
     dtype:
         Storage dtype of cached columns.  ``float32`` halves the footprint at
         ~1e-7 relative error; the default keeps solver-exact ``float64``.
@@ -125,6 +132,7 @@ class ColumnCache:
         max_iter: int = 1000,
         method: str = "auto",
         dtype=np.float64,
+        workers: "int | None" = None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
@@ -133,6 +141,7 @@ class ColumnCache:
         self.tol = tol
         self.max_iter = max_iter
         self.method = method
+        self.workers = workers
         self.dtype = np.dtype(dtype)
         self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._lock = threading.RLock()
@@ -219,12 +228,24 @@ class ColumnCache:
     def _solve(self, graph: DiGraph, kind: str, nodes: "list[int]", alpha: float) -> np.ndarray:
         solver = frank_batch if kind == "f" else trank_batch
         columns = solver(
-            graph, nodes, alpha, tol=self.tol, max_iter=self.max_iter, method=self.method
+            graph,
+            nodes,
+            alpha,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            method=self.method,
+            workers=self.workers,
         )
         return columns if self.dtype == np.float64 else columns.astype(self.dtype)
 
     def _insert(self, key: tuple, column: np.ndarray) -> np.ndarray:
         column = np.ascontiguousarray(column)
+        if not column.flags.owndata:
+            # A contiguous slice of the solver's output would alias writable
+            # memory through ``column.base``; a caller mutating that base
+            # would silently corrupt every future hit.  Stored columns must
+            # own their bytes so read-only truly means immutable.
+            column = column.copy()
         column.setflags(write=False)
         if column.nbytes > self.max_bytes:
             # Never storable within budget: hand it to the caller only.

@@ -57,6 +57,22 @@ def check_positive(value: float, name: str, *, strict: bool = True) -> float:
     return value
 
 
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a strictly positive integer and return it.
+
+    The shared sample-count contract: every Monte Carlo entry point (the
+    estimators, the walk samplers, the sharded parallel sampler) rejects
+    zero and negative counts through this helper so the failure mode is
+    loud and uniform instead of an empty-array surprise.
+    """
+    if not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
 def check_node_id(node: int, n_nodes: int, name: str = "node") -> int:
     """Validate that ``node`` is a valid node id for a graph of ``n_nodes``."""
     if not isinstance(node, numbers.Integral):

@@ -29,6 +29,11 @@ class TestSampleGeometricLengths:
             sample_geometric_lengths(0.0, 10, rng)
         with pytest.raises(ValueError):
             sample_geometric_lengths(0.25, -1, rng)
+        # Zero-size draws fail loudly, matching the MC estimators' contract.
+        with pytest.raises(ValueError):
+            sample_geometric_lengths(0.25, 0, rng)
+        with pytest.raises(TypeError):
+            sample_geometric_lengths(0.25, 10.5, rng)
 
 
 class TestStep:
@@ -133,3 +138,25 @@ class TestStatisticalAgreementWithLoopPath:
         freq = np.bincount(terminals, minlength=star_graph.n_nodes) / n
         exact = frank_vector(star_graph, 0, alpha)
         assert np.abs(freq - exact).max() < 0.01
+
+    def test_trip_terminals_sample_count_validation(self, toy_graph):
+        # Unified with the MC estimators: zero/negative counts fail loudly.
+        engine = WalkEngine(toy_graph)
+        with pytest.raises(ValueError):
+            engine.sample_trip_terminals(0, 0.25, 0, ensure_rng(1))
+        with pytest.raises(ValueError):
+            engine.sample_trip_terminals(0, 0.25, -5, ensure_rng(1))
+        with pytest.raises(TypeError):
+            engine.sample_trip_terminals(0, 0.25, 3.5, ensure_rng(1))
+
+
+class TestFromTransition:
+    def test_detached_engine_walks_the_same_law(self, toy_graph):
+        attached = WalkEngine(toy_graph)
+        detached = WalkEngine.from_transition(toy_graph.transition)
+        assert detached.graph is None
+        assert detached.n_nodes == toy_graph.n_nodes
+        # Same transition bytes + same rng stream => identical samples.
+        a = attached.sample_trip_terminals(0, 0.25, 5000, ensure_rng(4))
+        b = detached.sample_trip_terminals(0, 0.25, 5000, ensure_rng(4))
+        assert np.array_equal(a, b)

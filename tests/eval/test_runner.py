@@ -21,6 +21,7 @@ from repro.eval import (
     run_task_suite,
     tune_beta,
 )
+from repro.eval.tasks import QueryCase
 
 
 class OracleMeasure(ProximityMeasure):
@@ -87,6 +88,40 @@ class TestFTCache:
         info = cache.cache_info()
         assert info.misses == warm_misses  # warm covered it: pure hits now
         assert info.hits >= 2  # one f and one t column
+
+    def test_workers_with_explicit_cache_rejected(self):
+        from repro.serving import ColumnCache
+
+        with pytest.raises(ValueError, match="workers on the ColumnCache"):
+            FTCache(cache=ColumnCache(), workers=2)
+
+    def test_returned_pairs_are_read_only(self, small_bibnet):
+        # Regression: composed multi-node pairs used to be writable and
+        # shared across hits — one caller mutating its (f, t) silently
+        # corrupted every later evaluation of the same case.
+        task = make_venue_task(small_bibnet, 2, seed=2)
+        cache = FTCache()
+        case = task.cases[0]
+        f_single, t_single = cache.get(0, case)
+        for arr in (f_single, t_single):
+            with pytest.raises(ValueError):
+                arr[0] = 1e9
+        other = 0 if int(case.query) != 0 else 1
+        multi = QueryCase(
+            graph=case.graph,
+            query={int(case.query): 1.0, other: 2.0},
+            ground_truth=case.ground_truth,
+            excluded=case.excluded,
+            candidate_mask=case.candidate_mask,
+        )
+        f_multi, t_multi = cache.get(1, multi)
+        snapshot = f_multi.copy()
+        for arr in (f_multi, t_multi):
+            with pytest.raises(ValueError):
+                arr[:] = 0.0
+        again, _ = cache.get(1, multi)
+        assert again is f_multi
+        assert np.array_equal(again, snapshot)
 
     def test_bounded_across_graphs(self, small_bibnet):
         # The paper's edge-removal tasks give every case its own graph; the

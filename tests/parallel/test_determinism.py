@@ -1,0 +1,127 @@
+"""Worker-count invariance and reproducibility of the parallel layer.
+
+The contract under test: ``workers`` is a throughput knob, never a result
+knob — ``workers=1`` (the sequential path) and ``workers=4`` agree bit for
+bit under ``method="power"`` and to the verified residual tolerance under
+``method="auto"``; sharded walk sampling is a pure function of
+``(seed, workers)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import frank_batch, roundtriprank_batch, trank_batch
+from repro.engine.walks import get_walk_engine
+from repro.parallel import sample_trip_terminals_parallel
+from repro.parallel.walks import _shard_sizes
+from repro.serving import ColumnCache, MicroBatcher
+
+
+def _queries(graph, count, seed=23):
+    rng = np.random.default_rng(seed)
+    singles = [int(q) for q in rng.choice(graph.n_nodes, size=count - 2, replace=False)]
+    # Mixed shapes: single nodes, a node list, a weighted mapping.
+    return singles + [singles[:3], {singles[0]: 2.0, singles[1]: 1.0}]
+
+
+class TestBatchSolverParity:
+    @pytest.mark.parametrize("solver", [frank_batch, trank_batch])
+    def test_power_is_bit_exact_on_toy(self, toy_graph, solver):
+        queries = _queries(toy_graph, 12)
+        sequential = solver(toy_graph, queries, method="power", workers=1)
+        sharded = solver(toy_graph, queries, method="power", workers=4)
+        assert np.array_equal(sequential, sharded)
+
+    def test_power_is_bit_exact_on_bibnet(self, small_bibnet):
+        graph = small_bibnet.graph
+        queries = _queries(graph, 16)
+        sequential = frank_batch(graph, queries, method="power", workers=1)
+        sharded = frank_batch(graph, queries, method="power", workers=4)
+        assert np.array_equal(sequential, sharded)
+
+    def test_auto_stays_within_residual_tolerance(self, small_bibnet):
+        graph = small_bibnet.graph
+        queries = _queries(graph, 16)
+        sequential = frank_batch(graph, queries, method="auto", workers=1)
+        sharded = frank_batch(graph, queries, method="auto", workers=4)
+        # Each column is independently verified to tol=1e-12 in float64;
+        # worker count may shift bits but never the converged answer.
+        assert np.abs(sequential - sharded).max() < 1e-10
+
+    def test_roundtriprank_batch_parity(self, toy_graph):
+        queries = list(range(toy_graph.n_nodes))
+        sequential = roundtriprank_batch(toy_graph, queries, method="power", workers=1)
+        sharded = roundtriprank_batch(toy_graph, queries, method="power", workers=4)
+        assert np.array_equal(sequential, sharded)
+
+    def test_worker_counts_two_and_four_agree(self, toy_graph):
+        queries = _queries(toy_graph, 12)
+        two = frank_batch(toy_graph, queries, method="power", workers=2)
+        four = frank_batch(toy_graph, queries, method="power", workers=4)
+        assert np.array_equal(two, four)
+
+
+class TestServingParity:
+    def test_microbatcher_flush_matches_sequential(self, toy_graph):
+        plain = MicroBatcher(toy_graph, max_batch=64, method="power")
+        pooled = MicroBatcher(toy_graph, max_batch=64, method="power", workers=4)
+        queries = list(range(toy_graph.n_nodes))
+        want = [plain.submit(q) for q in queries]
+        got = [pooled.submit(q) for q in queries]
+        plain.flush()
+        pooled.flush()
+        for w, g in zip(want, got):
+            assert np.array_equal(w.result(), g.result())
+
+    def test_column_cache_workers_is_not_part_of_the_key(self, toy_graph):
+        sequential = ColumnCache(method="power")
+        pooled = ColumnCache(method="power", workers=4)
+        nodes = list(range(toy_graph.n_nodes))
+        for node, seq_col, par_col in zip(
+            nodes,
+            sequential.get_many(toy_graph, "f", nodes),
+            pooled.get_many(toy_graph, "f", nodes),
+        ):
+            assert np.array_equal(seq_col, par_col), f"column {node} diverged"
+
+
+class TestWalkReproducibility:
+    def test_fixed_seed_and_workers_reproduces(self, toy_graph):
+        first = sample_trip_terminals_parallel(toy_graph, 0, 0.25, 20000, seed=7, workers=4)
+        second = sample_trip_terminals_parallel(toy_graph, 0, 0.25, 20000, seed=7, workers=4)
+        assert np.array_equal(first, second)
+        assert first.shape == (20000,)
+
+    def test_pooled_matches_inline_shards(self, toy_graph):
+        """The execution mode (pool vs inline) must not change the sample."""
+        n, workers, seed = 20000, 3, 42
+        pooled = sample_trip_terminals_parallel(toy_graph, 3, 0.3, n, seed=seed, workers=workers)
+        engine = get_walk_engine(toy_graph)
+        streams = np.random.SeedSequence(seed).spawn(workers)
+        inline = np.concatenate(
+            [
+                engine.sample_trip_terminals(3, 0.3, count, np.random.default_rng(stream))
+                for count, stream in zip(_shard_sizes(n, workers), streams)
+            ]
+        )
+        assert np.array_equal(pooled, inline)
+
+    def test_distribution_matches_exact_frank(self, toy_graph):
+        from repro.core import frank_vector
+
+        alpha = 0.25
+        terminals = sample_trip_terminals_parallel(
+            toy_graph, 0, alpha, 40000, seed=11, workers=4
+        )
+        estimate = np.bincount(terminals, minlength=toy_graph.n_nodes) / terminals.size
+        assert np.abs(estimate - frank_vector(toy_graph, 0, alpha)).max() < 0.02
+
+    def test_validation(self, toy_graph):
+        with pytest.raises(ValueError):
+            sample_trip_terminals_parallel(toy_graph, 0, 0.25, 0, seed=1, workers=2)
+        with pytest.raises(ValueError):
+            sample_trip_terminals_parallel(toy_graph, 0, 0.25, 100, seed=1, workers=0)
+        with pytest.raises(ValueError):
+            sample_trip_terminals_parallel(toy_graph, 0, 1.5, 100, seed=1, workers=2)
+        with pytest.raises(ValueError):
+            sample_trip_terminals_parallel(toy_graph, toy_graph.n_nodes, 0.25, 100, workers=2)

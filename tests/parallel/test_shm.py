@@ -1,0 +1,110 @@
+"""Tests for shared-memory CSR publication (in-process, no pool needed)."""
+
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.parallel.shm import SharedCSR, attach_csr, live_segment_names
+
+
+@pytest.fixture()
+def small_csr():
+    rng = np.random.default_rng(5)
+    dense = rng.random((7, 7))
+    dense[dense < 0.6] = 0.0
+    return sp.csr_matrix(dense)
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_exact(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            attached, segments = attach_csr(shared.handle)
+            assert attached.shape == small_csr.shape
+            assert np.array_equal(attached.indptr, small_csr.indptr)
+            assert np.array_equal(attached.indices, small_csr.indices)
+            assert np.array_equal(attached.data, small_csr.data)
+            assert (attached != small_csr).nnz == 0
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_attached_arrays_are_read_only(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            attached, segments = attach_csr(shared.handle)
+            with pytest.raises(ValueError):
+                attached.data[0] = 99.0
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_matvec_against_original(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            attached, segments = attach_csr(shared.handle)
+            x = np.arange(small_csr.shape[1], dtype=np.float64)
+            assert np.array_equal(attached @ x, small_csr @ x)
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_non_csr_input_is_converted(self):
+        coo = sp.coo_matrix(([1.0, 2.0], ([0, 1], [1, 0])), shape=(2, 2))
+        shared = SharedCSR.publish(coo)
+        try:
+            attached, segments = attach_csr(shared.handle)
+            assert np.array_equal(attached.toarray(), coo.toarray())
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+
+class TestHandle:
+    def test_handle_pickles_and_hashes(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            clone = pickle.loads(pickle.dumps(shared.handle))
+            assert clone == shared.handle
+            assert hash(clone) == hash(shared.handle)
+            assert {shared.handle: "x"}[clone] == "x"
+        finally:
+            shared.destroy()
+
+    def test_nbytes_counts_all_segments(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            expected = (
+                small_csr.indptr.nbytes + small_csr.indices.nbytes + small_csr.data.nbytes
+            )
+            assert shared.handle.nbytes == expected
+        finally:
+            shared.destroy()
+
+
+class TestLifetime:
+    def test_destroy_unlinks_segments(self, small_csr):
+        before = set(live_segment_names())
+        shared = SharedCSR.publish(small_csr)
+        created = set(live_segment_names()) - before
+        assert len(created) == 3
+        shared.destroy()
+        assert set(live_segment_names()) & created == set()
+
+    def test_destroy_is_idempotent(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        shared.destroy()
+        shared.destroy()  # second call must not raise
+
+    def test_attach_after_destroy_fails(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        handle = shared.handle
+        shared.destroy()
+        with pytest.raises(FileNotFoundError):
+            attach_csr(handle)

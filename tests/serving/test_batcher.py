@@ -117,6 +117,53 @@ class TestMeasuresAndCache:
         assert np.allclose(result, roundtriprank(toy_graph, {0: 1.0, 1: 3.0}), atol=1e-9)
 
 
+class TestLifecycle:
+    def test_submit_after_close_raises(self, toy_graph):
+        batcher = MicroBatcher(toy_graph)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(0)
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.ask(0)
+
+    def test_close_is_idempotent(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_delay=0.01).start()
+        batcher.close()
+        batcher.close()  # second close must be a no-op
+        assert batcher.closed
+
+    def test_start_after_close_raises(self, toy_graph):
+        batcher = MicroBatcher(toy_graph)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.start()
+
+    def test_close_flushes_outstanding_futures(self, toy_graph):
+        batcher = MicroBatcher(toy_graph, max_batch=64, max_delay=30.0).start()
+        future = batcher.submit(2)
+        batcher.close()  # far before the deadline: close must resolve it
+        assert future.done()
+        assert np.allclose(future.result(), roundtriprank(toy_graph, 2), atol=1e-10)
+
+    def test_context_manager_closes(self, toy_graph):
+        with MicroBatcher(toy_graph, max_delay=0.01) as batcher:
+            batcher.submit(0)
+        assert batcher.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_stop_then_restart_still_works(self, toy_graph):
+        # stop() is a pause, not a close: the deadline thread comes back.
+        batcher = MicroBatcher(toy_graph, max_batch=64, max_delay=0.02)
+        batcher.start()
+        batcher.stop()
+        assert not batcher.closed
+        batcher.start()
+        future = batcher.submit(3)
+        assert future.result(timeout=5.0) is not None
+        batcher.close()
+
+
 class TestValidationAndErrors:
     def test_invalid_query_raises_at_submit(self, toy_graph):
         batcher = MicroBatcher(toy_graph)

@@ -30,6 +30,25 @@ class TestCorrectness:
         with pytest.raises(ValueError):
             column[0] = 123.0
 
+    def test_stored_columns_own_their_bytes(self, toy_graph):
+        # Regression: a single-column miss used to store a read-only *view*
+        # of the solver's writable output; mutating through ``column.base``
+        # would have silently corrupted every future hit.
+        cache = ColumnCache()
+        column = cache.get(toy_graph, "f", 2)  # one-column solve: the risky path
+        assert column.flags.owndata
+        assert column.base is None
+        for col in cache.get_many(toy_graph, "t", [0, 1, 2]):
+            assert col.flags.owndata and col.base is None
+
+    def test_failed_mutation_leaves_future_hits_intact(self, toy_graph):
+        cache = ColumnCache()
+        column = cache.get(toy_graph, "f", 4)
+        snapshot = column.copy()
+        with pytest.raises(ValueError):
+            column[:] = 0.0
+        assert np.array_equal(cache.get(toy_graph, "f", 4), snapshot)
+
     def test_alpha_is_part_of_the_key(self, toy_graph):
         cache = ColumnCache()
         a = cache.get(toy_graph, "f", 0, alpha=0.25)
