@@ -1,10 +1,11 @@
 """CI smoke-benchmark driver: one machine-readable perf record per commit.
 
 Merges the metrics the smoke benchmarks wrote via ``report_json``
-(``benchmarks/results/batch_engine.json``, ``serving.json`` and
-``parallel.json``) into ``benchmarks/results/ci_smoke.json``, which the CI
-workflow uploads as an artifact — giving every commit a comparable record
-of the perf trajectory (batch speedup, walk throughput, cache hit-rate,
+(``benchmarks/results/batch_engine.json``, ``serving.json``,
+``parallel.json`` and ``kernels.json``) into
+``benchmarks/results/ci_smoke.json``, which the CI workflow uploads as an
+artifact — giving every commit a comparable record of the perf trajectory
+(batch speedup, walk throughput, matmat kernel timings, cache hit-rate,
 warm/cold serving latency, micro-batch amortization, and the ``workers=2``
 sharded-solver leg: walltime per worker count plus the power/auto parity
 columns must hold even on a one-core CI runner).
@@ -53,6 +54,10 @@ def main() -> int:
         "batch_engine": _metrics(
             "batch_engine",
             lambda: bench_batch_engine.run_batch_engine(*bench_batch_engine._setup()),
+        ),
+        "kernels": _metrics(
+            "kernels",
+            lambda: bench_batch_engine.run_kernel_sweep(*bench_batch_engine._kernel_setup()),
         ),
         "serving": _metrics(
             "serving", lambda: bench_serving.run_serving(*bench_serving._setup())

@@ -22,10 +22,10 @@ from __future__ import annotations
 import warnings
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.queries import Query, teleport_vector
 from repro.graph.digraph import DiGraph
+from repro.ops import as_operator, get_operator
 from repro.utils.validation import check_in_range, check_positive
 
 DEFAULT_ALPHA = 0.25  # the paper's setting throughout Sect. VI
@@ -36,7 +36,7 @@ class ConvergenceWarning(RuntimeWarning):
 
 
 def power_iteration(
-    operator: sp.spmatrix,
+    operator,
     teleport: np.ndarray,
     alpha: float,
     tol: float = 1e-12,
@@ -46,8 +46,12 @@ def power_iteration(
     """Solve ``x = alpha * teleport + (1 - alpha) * operator @ x`` by iteration.
 
     Shared by F-Rank (``operator = P^T``) and T-Rank (``operator = P``).
-    Converges for any row-/column-substochastic operator because the update
-    is an L1 contraction with factor ``1 - alpha``.
+    ``operator`` is a :class:`repro.ops.TransitionOperator` or any scipy
+    sparse matrix (wrapped on the fly); the single-vector product is
+    kernel-independent, so this reference path is bit-stable no matter what
+    ``REPRO_KERNEL`` selects.  Converges for any row-/column-substochastic
+    operator because the update is an L1 contraction with factor
+    ``1 - alpha``.
 
     If ``max_iter`` is exhausted while the L1 residual is still >= ``tol``,
     a :class:`ConvergenceWarning` is emitted (pass
@@ -58,12 +62,13 @@ def power_iteration(
     check_positive(tol, "tol")
     if max_iter <= 0:
         raise ValueError(f"max_iter must be > 0, got {max_iter}")
+    top = as_operator(operator)
     x = alpha * teleport
     base = alpha * teleport
     damp = 1.0 - alpha
     delta = np.inf
     for _ in range(max_iter):
-        x_next = base + damp * (operator @ x)
+        x_next = base + damp * top.matvec(x)
         delta = float(np.abs(x_next - x).sum())
         x = x_next
         if delta < tol:
@@ -94,9 +99,8 @@ def frank_vector(
     power iteration instead of one solve per query.
     """
     s = teleport_vector(graph, query)
-    p_t = graph.transition.T.tocsr()
     return power_iteration(
-        p_t, s, alpha, tol=tol, max_iter=max_iter,
+        get_operator(graph, transpose=True), s, alpha, tol=tol, max_iter=max_iter,
         warn_on_nonconvergence=warn_on_nonconvergence,
     )
 
@@ -110,9 +114,9 @@ def frank_constant_length(graph: DiGraph, query: Query, length: int) -> np.ndarr
     if length < 0:
         raise ValueError(f"length must be >= 0, got {length}")
     dist = teleport_vector(graph, query)
-    p = graph.transition
+    top = get_operator(graph, transpose=False)
     for _ in range(length):
-        dist = np.asarray(dist @ p).ravel()
+        dist = top.rmatvec(dist)
     return dist
 
 

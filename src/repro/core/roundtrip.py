@@ -23,6 +23,12 @@ conditional probability of Definition 2, which is what
 
 This module also contains an exact path enumerator for tiny graphs used to
 validate Proposition 2 and to regenerate the paper's Fig. 4 table.
+
+All solves delegate to the batch engine with a single column, so every
+operator product runs through the shared :mod:`repro.ops` subsystem (the
+per-graph prepared CSR and the pluggable matmat kernels); the
+``method="power"`` pin below keeps single-query results bit-identical to
+the historical per-node power iteration under every kernel.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.frank import DEFAULT_ALPHA, power_iteration
 from repro.core.queries import Query, teleport_vector
 from repro.graph.digraph import DiGraph
+from repro.ops import get_operator
 
 
 def trank_vector(
@@ -40,7 +41,9 @@ def trank_vector(
     probability of ending at a query node drawn from the query weights).
     """
     s = teleport_vector(graph, query)
-    return power_iteration(graph.transition, s, alpha, tol=tol, max_iter=max_iter)
+    return power_iteration(
+        get_operator(graph, transpose=False), s, alpha, tol=tol, max_iter=max_iter
+    )
 
 
 def trank_constant_length(graph: DiGraph, query: Query, length: int) -> np.ndarray:
@@ -48,9 +51,9 @@ def trank_constant_length(graph: DiGraph, query: Query, length: int) -> np.ndarr
     if length < 0:
         raise ValueError(f"length must be >= 0, got {length}")
     x = teleport_vector(graph, query)
-    p = graph.transition
+    top = get_operator(graph, transpose=False)
     for _ in range(length):
-        x = p @ x
+        x = top.matvec(x)
     return np.asarray(x).ravel()
 
 

@@ -14,7 +14,10 @@ Two pillars, both amortizing work across many units at once:
 
 The single-query functions in :mod:`repro.core` are thin wrappers over (or
 reference implementations for) these paths; batch columns match them
-exactly.
+exactly.  Every operator product dispatches through
+:mod:`repro.ops` (the prepared per-graph :class:`~repro.ops.TransitionOperator`
+and the pluggable ``REPRO_KERNEL`` matmat kernels), and ``method="power"``
+results are bit-identical under every kernel.
 """
 
 from repro.engine.batch import (

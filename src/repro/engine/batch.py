@@ -33,42 +33,27 @@ Two solve methods share that multi-column sweep:
   acceleration assumptions.  Roughly 3-7x faster than sequential
   single-query solves on one core.
 
-Per-graph operator preparation (the transposed CSR and the float32 copies)
-is cached on the graph with weak references, so steady-state serving pays
-only for the sweeps.
+All operator products dispatch through :class:`repro.ops.TransitionOperator`
+— the per-graph prepared CSR (both orientations, per-dtype variants, damped
+copies) lives in :mod:`repro.ops`, and the actual CSR matmat kernel is
+pluggable (``REPRO_KERNEL``: scipy / blocked / numba).  ``method="power"``
+results are bit-identical across kernels, so the kernel choice is purely a
+throughput knob.
 """
 
 from __future__ import annotations
 
 import math
 import warnings
-import weakref
 from typing import Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.frank import DEFAULT_ALPHA, ConvergenceWarning
 from repro.core.queries import Query, normalize_query
 from repro.graph.digraph import DiGraph
+from repro.ops import TransitionOperator, as_operator, get_operator
 from repro.utils.validation import check_in_range, check_positive
-
-try:  # accumulate-form CSR matmat: no per-sweep allocation or zeroing
-    from scipy.sparse import _sparsetools as _sptools
-
-    def _spmm_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
-        """``out += matrix @ x`` without allocating the product."""
-        n_row, n_col = matrix.shape
-        _sptools.csr_matvecs(
-            n_row, n_col, x.shape[1],
-            matrix.indptr, matrix.indices, matrix.data,
-            x.ravel(), out.ravel(),
-        )
-
-except (ImportError, AttributeError):  # pragma: no cover - scipy internals moved
-
-    def _spmm_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
-        out += matrix @ x
 
 #: L1-delta floor reliably reachable by the float32 Chebyshev phases; below
 #: this, progress must come from float64 residual correction.
@@ -78,23 +63,10 @@ _F32_FLOOR = 2e-6
 #: ~20 sweeps; the budget only matters when float32 stalls).
 _PHASE_BUDGET = 120
 
-#: Per-graph cache of prepared operators, keyed by (transpose?, dtype).
-_OPERATORS: "weakref.WeakKeyDictionary[DiGraph, dict]" = weakref.WeakKeyDictionary()
 
-
-def _prepared_operator(graph: DiGraph, transpose: bool, dtype) -> sp.csr_matrix:
-    """The graph's transition operator (optionally transposed) in ``dtype``, cached."""
-    per_graph = _OPERATORS.get(graph)
-    if per_graph is None:
-        per_graph = {}
-        _OPERATORS[graph] = per_graph
-    key = (transpose, np.dtype(dtype).name)
-    op = per_graph.get(key)
-    if op is None:
-        base = graph.transition.T.tocsr() if transpose else graph.transition
-        op = base if np.dtype(dtype) == np.float64 else base.astype(dtype)
-        per_graph[key] = op
-    return op
+def _prepared_operator(graph: DiGraph, transpose: bool, dtype):
+    """Backward-compatible shim: the prepared CSR now lives in :mod:`repro.ops`."""
+    return get_operator(graph, transpose).matrix(dtype)
 
 
 def stack_teleports(graph: DiGraph, queries: Sequence[Query]) -> np.ndarray:
@@ -113,8 +85,8 @@ def stack_teleports(graph: DiGraph, queries: Sequence[Query]) -> np.ndarray:
     return s
 
 
-def _jacobi_masked(operator, base, damp, x, tol, budget):
-    """Masked power iteration ``x <- base + damp * (operator @ x)`` from ``x``.
+def _jacobi_masked(top: TransitionOperator, base, damp, x, tol, budget):
+    """Masked power iteration ``x <- base + damp * (top @ x)`` from ``x``.
 
     Columns whose L1 iterate delta falls below ``tol`` are frozen and leave
     the sweep.  Returns ``(x, per_column_delta, sweeps_used)``; with
@@ -126,7 +98,7 @@ def _jacobi_masked(operator, base, damp, x, tol, budget):
     sweeps = 0
     while sweeps < budget and active.size:
         x_active = x[:, active]
-        x_next = base[:, active] + damp * (operator @ x_active)
+        x_next = base[:, active] + damp * top.matmat(x_active)
         sweeps += 1
         step = np.abs(x_next - x_active).sum(axis=0)
         x[:, active] = x_next
@@ -135,24 +107,25 @@ def _jacobi_masked(operator, base, damp, x, tol, budget):
     return x, deltas, sweeps
 
 
-def _chebyshev_phase(damped_operator, base, damp, tol, budget):
-    """Chebyshev semi-iteration for ``x = base + damped_operator @ x``.
+def _chebyshev_phase(damped_top: TransitionOperator, base, damp, tol, budget):
+    """Chebyshev semi-iteration for ``x = base + damped_top @ x``.
 
-    ``damped_operator`` must already carry the ``damp`` factor (the caller
-    scales the float32 copy once per solve, keeping the sweep at four
-    allocation-free dense passes).  One dtype throughout (callers pass
-    float32 for the bulk phases).  Valid when the damped operator's spectrum
-    is (close to) real in ``[-damp, damp]`` — true for the mostly-undirected
-    graphs this library targets; strongly directed spectra make it diverge,
-    which the caller detects and handles.  Runs a fixed sweep schedule sized
-    from the Chebyshev rate, then checks the iterate delta every few sweeps;
-    bails out early on divergence or stagnation (float32 floor).
+    ``damped_top`` must already carry the ``damp`` factor (callers get it
+    from :meth:`TransitionOperator.damped`, which caches the scaled float32
+    copy per graph, keeping the sweep at four allocation-free dense passes).
+    One dtype throughout (callers pass float32 for the bulk phases).  Valid
+    when the damped operator's spectrum is (close to) real in
+    ``[-damp, damp]`` — true for the mostly-undirected graphs this library
+    targets; strongly directed spectra make it diverge, which the caller
+    detects and handles.  Runs a fixed sweep schedule sized from the
+    Chebyshev rate, then checks the iterate delta every few sweeps; bails
+    out early on divergence or stagnation (float32 floor).
 
     Returns ``(x, sweeps_used, healthy)``; ``healthy=False`` flags
     divergence, *not* mere stagnation.
     """
     x_old = base.copy()
-    x = base + damped_operator @ x_old
+    x = base + damped_top.matmat(x_old)
     sweeps = 1
     omega = 2.0 / (2.0 - damp * damp)
     # Asymptotic Chebyshev rate on [-damp, damp]; predicts when the target
@@ -168,7 +141,7 @@ def _chebyshev_phase(damped_operator, base, damp, tol, budget):
     k = 1
     while sweeps < budget:
         np.copyto(y, base)
-        _spmm_into(damped_operator, x, y)
+        damped_top.matmat(x, out=y, accumulate=True)
         sweeps += 1
         y *= x.dtype.type(omega)
         x_old *= x.dtype.type(1.0 - omega)
@@ -202,25 +175,25 @@ def _chebyshev_phase(damped_operator, base, damp, tol, budget):
     return x, sweeps, True
 
 
-def _residual(operator, base, damp, x):
-    """Float64 residual ``base + damp * (operator @ x) - x`` (one sweep)."""
-    r = operator @ x
+def _residual(top: TransitionOperator, base, damp, x):
+    """Float64 residual ``base + damp * (top @ x) - x`` (one sweep)."""
+    r = top.matmat(x)
     r *= damp
     r += base
     r -= x
     return r
 
 
-def _solve_auto(operator, base, damp, tol, max_iter, operator_f32):
+def _solve_auto(top: TransitionOperator, base, damp, tol, max_iter):
     """Mixed-precision accelerated solve; falls back to masked power iteration.
 
     Returns ``(x, per_column_residual, sweeps_used)`` where the residual
     column norms are L1 and *verified* in float64 — the accuracy contract
-    never rests on the float32/Chebyshev assumptions.
+    never rests on the float32/Chebyshev assumptions.  The float32 damped
+    operator comes from the operator's own variant cache, so repeated solves
+    (and shared-memory workers) never re-derive it.
     """
-    if operator_f32 is None:
-        operator_f32 = operator.astype(np.float32)
-    damped32 = operator_f32 * np.float32(damp)
+    damped32 = top.damped(damp, np.float32)
     base32 = base.astype(np.float32)
     phase_tol = max(tol, _F32_FLOOR)
     sweeps_left = max_iter
@@ -234,7 +207,7 @@ def _solve_auto(operator, base, damp, tol, max_iter, operator_f32):
         for _ in range(3):  # residual-correction rounds (typically one)
             if sweeps_left <= 0:
                 break
-            r = _residual(operator, base, damp, x)
+            r = _residual(top, base, damp, x)
             sweeps_left -= 1
             col_res = np.abs(r).sum(axis=0)
             scale = float(col_res.max())
@@ -255,44 +228,49 @@ def _solve_auto(operator, base, damp, tol, max_iter, operator_f32):
     # iterate when the accelerated phases were healthy, else from scratch.
     if x is None:
         x = base.copy()
-    x, deltas, used = _jacobi_masked(operator, base, damp, x, tol, max(0, sweeps_left))
+    x, deltas, used = _jacobi_masked(top, base, damp, x, tol, max(0, sweeps_left))
     sweeps_left -= used
-    r = _residual(operator, base, damp, x)
+    r = _residual(top, base, damp, x)
     sweeps_left -= 1
     col_res = np.abs(r).sum(axis=0)
     return x, col_res, max_iter - sweeps_left
 
 
 def power_iteration_batch(
-    operator: sp.spmatrix,
+    operator,
     teleports: np.ndarray,
     alpha: float,
     tol: float = 1e-12,
     max_iter: int = 1000,
     warn_on_nonconvergence: bool = True,
     method: str = "auto",
-    operator_f32: "sp.spmatrix | None" = None,
+    operator_f32=None,
 ) -> np.ndarray:
     """Solve ``X = alpha * teleports + (1 - alpha) * operator @ X`` column-wise.
 
-    ``teleports`` is ``n x q``; the result has the same shape.  With
-    ``method="power"``, column ``j`` is exactly what
-    :func:`repro.core.frank.power_iteration` returns for teleport column
-    ``j`` (identical update and per-column stopping rule, with converged
-    columns masked out of subsequent sweeps).  With ``method="auto"`` (the
-    default) a mixed-precision Chebyshev-accelerated path produces columns
-    whose *verified* float64 L1 residual is below ``tol`` — within
-    ``tol / alpha`` of the exact fixed point, and within the same bound of
-    the ``"power"`` result (far tighter than the 1e-10 the test-suite
-    parity checks require at the default ``tol``).
+    ``operator`` is a :class:`repro.ops.TransitionOperator` or any scipy
+    sparse matrix (wrapped on the fly; graph-backed callers should pass the
+    cached operator from :func:`repro.ops.get_operator`).  ``teleports`` is
+    ``n x q``; the result has the same shape.  With ``method="power"``,
+    column ``j`` is exactly what :func:`repro.core.frank.power_iteration`
+    returns for teleport column ``j`` (identical update and per-column
+    stopping rule, with converged columns masked out of subsequent sweeps)
+    — bit-identical under every registered matmat kernel.  With
+    ``method="auto"`` (the default) a mixed-precision Chebyshev-accelerated
+    path produces columns whose *verified* float64 L1 residual is below
+    ``tol`` — within ``tol / alpha`` of the exact fixed point, and within
+    the same bound of the ``"power"`` result (far tighter than the 1e-10
+    the test-suite parity checks require at the default ``tol``).
 
     Mirrors the single-query non-convergence contract: columns still above
     ``tol`` when the sweep budget ``max_iter`` is exhausted trigger one
     :class:`repro.core.frank.ConvergenceWarning` (opt out with
     ``warn_on_nonconvergence=False``).
 
-    ``operator_f32`` lets callers supply a cached float32 operator copy for
-    the accelerated path; it is derived on the fly when absent.
+    ``operator_f32`` lets callers passing a raw sparse matrix supply a
+    pre-built float32 copy for the accelerated path; it is ignored when
+    ``operator`` is already a :class:`~repro.ops.TransitionOperator` (the
+    operator caches its own variants).
     """
     alpha = check_in_range(alpha, "alpha", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
     check_positive(tol, "tol")
@@ -300,6 +278,7 @@ def power_iteration_batch(
         raise ValueError(f"max_iter must be > 0, got {max_iter}")
     if method not in ("auto", "power"):
         raise ValueError(f"method must be 'auto' or 'power', got {method!r}")
+    top = as_operator(operator, float32=operator_f32)
     teleports = np.asarray(teleports, dtype=np.float64)
     if teleports.ndim != 2:
         raise ValueError(f"teleports must be 2-D (n x q), got shape {teleports.shape}")
@@ -309,12 +288,10 @@ def power_iteration_batch(
 
     if method == "power":
         x, unconverged_norms, _ = _jacobi_masked(
-            operator, base, damp, base.copy(), tol, max_iter
+            top, base, damp, base.copy(), tol, max_iter
         )
     else:
-        x, unconverged_norms, _ = _solve_auto(
-            operator, base, damp, tol, max_iter, operator_f32
-        )
+        x, unconverged_norms, _ = _solve_auto(top, base, damp, tol, max_iter)
     bad = unconverged_norms >= tol
     if warn_on_nonconvergence and bad.any():
         warnings.warn(
@@ -360,14 +337,13 @@ def frank_batch(
             return result
     s = stack_teleports(graph, queries)
     return power_iteration_batch(
-        _prepared_operator(graph, True, np.float64),
+        get_operator(graph, transpose=True),
         s,
         alpha,
         tol=tol,
         max_iter=max_iter,
         warn_on_nonconvergence=warn_on_nonconvergence,
         method=method,
-        operator_f32=_prepared_operator(graph, True, np.float32) if method == "auto" else None,
     )
 
 
@@ -398,14 +374,13 @@ def trank_batch(
             return result
     s = stack_teleports(graph, queries)
     return power_iteration_batch(
-        _prepared_operator(graph, False, np.float64),
+        get_operator(graph, transpose=False),
         s,
         alpha,
         tol=tol,
         max_iter=max_iter,
         warn_on_nonconvergence=warn_on_nonconvergence,
         method=method,
-        operator_f32=_prepared_operator(graph, False, np.float32) if method == "auto" else None,
     )
 
 

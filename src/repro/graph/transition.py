@@ -50,10 +50,15 @@ def is_row_stochastic(matrix: sp.spmatrix, atol: float = 1e-9) -> bool:
     return bool(np.allclose(row_sums, 1.0, atol=atol))
 
 
-def transition_power_step(p: sp.csr_matrix, dist: np.ndarray) -> np.ndarray:
+def transition_power_step(p, dist: np.ndarray) -> np.ndarray:
     """One forward step of a walk distribution: ``dist @ P``.
 
     ``dist[v]`` is the probability of being at ``v``; the result is the
-    distribution after one random-walk step.
+    distribution after one random-walk step.  ``p`` may be a raw sparse
+    matrix (multiplied directly — no per-step wrapping cost) or a
+    :class:`repro.ops.TransitionOperator` such as
+    ``repro.ops.get_operator(graph)``.
     """
-    return np.asarray(dist @ p).ravel()
+    if sp.issparse(p):
+        return np.asarray(dist @ p).ravel()
+    return p.rmatvec(dist)

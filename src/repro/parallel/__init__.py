@@ -4,8 +4,11 @@ The single-process batch engine tops out at one core; this package lifts
 the multi-query paths onto a process pool:
 
 - :mod:`repro.parallel.shm` — publish the CSR operator once into
-  ``multiprocessing.shared_memory``; workers attach zero-copy
-  (:class:`SharedCSR` / :func:`attach_csr` / picklable :class:`CSRHandle`).
+  ``multiprocessing.shared_memory``, float32 values segment included;
+  workers attach zero-copy (:class:`SharedCSR` / :func:`attach_csr` /
+  :func:`attach_operator` — which rebuilds a full
+  :class:`repro.ops.TransitionOperator`, both precisions shared — and the
+  picklable :class:`CSRHandle`).
 - :mod:`repro.parallel.pool` — the ``spawn``-based worker pool, the
   column-striped shard solver (:func:`solve_columns_parallel`, reusing
   :class:`repro.distributed.StripeMap` for assignment), the
@@ -36,7 +39,13 @@ from repro.parallel.pool import (
     shutdown,
     solve_columns_parallel,
 )
-from repro.parallel.shm import CSRHandle, SharedCSR, attach_csr, live_segment_names
+from repro.parallel.shm import (
+    CSRHandle,
+    SharedCSR,
+    attach_csr,
+    attach_operator,
+    live_segment_names,
+)
 from repro.parallel.walks import PARALLEL_MIN_SAMPLES, sample_trip_terminals_parallel
 
 __all__ = [
@@ -52,6 +61,7 @@ __all__ = [
     "CSRHandle",
     "SharedCSR",
     "attach_csr",
+    "attach_operator",
     "live_segment_names",
     "sample_trip_terminals_parallel",
 ]

@@ -62,7 +62,7 @@ from repro.core.frank import ConvergenceWarning
 from repro.core.queries import Query, normalize_query
 from repro.distributed.striping import StripeMap
 from repro.graph.digraph import DiGraph
-from repro.parallel.shm import CSRHandle, SharedCSR, attach_csr
+from repro.parallel.shm import CSRHandle, SharedCSR, attach_operator
 from repro.utils.validation import check_in_range, check_positive
 
 #: smallest batch worth sharding at all (see :func:`effective_workers`).
@@ -245,11 +245,14 @@ def shared_operator(graph: DiGraph, transpose: bool) -> CSRHandle:
 
     ``transpose=True`` publishes ``P^T`` (the F-Rank operator),
     ``transpose=False`` publishes ``P`` itself (the T-Rank operator, also
-    what the sharded walk sampler steps on).  Publication is cached per
-    ``(graph, transpose)``; a finalizer unlinks the segments when the graph
-    is garbage collected or the interpreter exits.
+    what the sharded walk sampler steps on).  Both precision variants ship
+    in one publication: the float64 CSR plus a float32 values segment
+    (structure shared), so workers attach the accelerated-path operator
+    zero-copy instead of each deriving a private float32 copy.  Publication
+    is cached per ``(graph, transpose)``; a finalizer unlinks the segments
+    when the graph is garbage collected or the interpreter exits.
     """
-    from repro.engine.batch import _prepared_operator
+    from repro.ops import get_operator
 
     key = bool(transpose)
     with _publish_lock:
@@ -263,7 +266,10 @@ def shared_operator(graph: DiGraph, transpose: bool) -> CSRHandle:
     # Prepare and copy outside the lock: publication is O(n_edges) (a full
     # CSR copy, plus a transpose on first use), and one global lock would
     # serialize cold starts of unrelated graphs across threads.
-    candidate = SharedCSR.publish(_prepared_operator(graph, transpose, np.float64))
+    top = get_operator(graph, transpose=transpose)
+    candidate = SharedCSR.publish(
+        top.matrix(np.float64), float32_data=top.matrix(np.float32).data
+    )
     with _publish_lock:
         shared = per_graph.get(key)
         if shared is None:
@@ -301,28 +307,32 @@ atexit.register(shutdown)
 # --------------------------------------------------------------------------- #
 
 #: most handles a worker keeps attached at once.  Each entry holds the
-#: mapped segments plus derived objects (float32 copy, walk engine), so an
-#: unbounded cache would leak worker RSS across graphs — and keep unlinked
-#: segments' pages alive — on long sweeps where every case has its own
-#: graph (the eval edge-removal workloads).
+#: mapped segments plus derived objects (the TransitionOperator and its
+#: variants, walk engine), so an unbounded cache would leak worker RSS
+#: across graphs — and keep unlinked segments' pages alive — on long sweeps
+#: where every case has its own graph (the eval edge-removal workloads).
 _WORKER_CACHE_MAX = 8
 
-#: per-worker LRU of attachments: handle -> {"matrix", "segments", and
-#: lazily "f32" / "engine"}.  A worker runs one task at a time, so the
-#: entry in use is always most-recently-used and never the one evicted.
+#: per-worker LRU of attachments: handle -> {"operator", "matrix",
+#: "segments", and lazily "engine"}.  A worker runs one task at a time, so
+#: the entry in use is always most-recently-used and never the one evicted.
 _worker_cache: "OrderedDict[CSRHandle, dict]" = OrderedDict()
 
 
 def _worker_entry(handle: CSRHandle) -> dict:
     entry = _worker_cache.get(handle)
     if entry is None:
-        matrix, segments = attach_csr(handle)
-        entry = {"matrix": matrix, "segments": segments}
+        operator, segments = attach_operator(handle)
+        entry = {
+            "operator": operator,
+            "matrix": operator.matrix(np.float64),
+            "segments": segments,
+        }
         _worker_cache[handle] = entry
         while len(_worker_cache) > _WORKER_CACHE_MAX:
             _, evicted = _worker_cache.popitem(last=False)
             segments = evicted.pop("segments", [])
-            evicted.clear()  # drop array/engine refs before unmapping
+            evicted.clear()  # drop operator/array/engine refs before unmapping
             for shm in segments:
                 shm.close()
     else:
@@ -330,17 +340,19 @@ def _worker_entry(handle: CSRHandle) -> dict:
     return entry
 
 
-def _worker_csr(handle: CSRHandle):
-    return _worker_entry(handle)["matrix"]
+def _worker_operator(handle: CSRHandle):
+    """The shared-memory :class:`repro.ops.TransitionOperator` for ``handle``.
+
+    Every derived object (the float32 variant — shared when the handle
+    published a ``data32`` segment, derived otherwise — plus damped copies
+    and kernel preparations) rides the operator, which rides the LRU entry,
+    so eviction drops it all together with the mapped segments.
+    """
+    return _worker_entry(handle)["operator"]
 
 
 def _worker_csr_f32(handle: CSRHandle):
-    entry = _worker_entry(handle)
-    matrix32 = entry.get("f32")
-    if matrix32 is None:
-        matrix32 = entry["matrix"].astype(np.float32)
-        entry["f32"] = matrix32
-    return matrix32
+    return _worker_operator(handle).matrix(np.float32)
 
 
 def _solve_shard(
@@ -355,17 +367,21 @@ def _solve_shard(
     """Solve one column shard in a worker; returns ``(columns, warnings)``.
 
     Runs exactly :func:`repro.engine.batch.power_iteration_batch` on the
-    shard's teleport stack; convergence warnings cannot cross the process
-    boundary, so their messages are captured and re-issued by the parent.
+    shard's teleport stack, against the shared-memory
+    :class:`~repro.ops.TransitionOperator` (float32 variant included, so the
+    accelerated path never copies the operator).  Workers inherit
+    ``REPRO_KERNEL`` from the parent environment; ``method="power"`` shards
+    are bit-exact under every kernel regardless.  Convergence warnings
+    cannot cross the process boundary, so their messages are captured and
+    re-issued by the parent.
     """
     from repro.engine.batch import power_iteration_batch
 
-    operator = _worker_csr(handle)
+    operator = _worker_operator(handle)
     n_nodes = handle.shape[0]
     s = np.zeros((n_nodes, len(teleport_nodes)))
     for j, (nodes, wts) in enumerate(zip(teleport_nodes, teleport_weights)):
         s[nodes, j] = wts
-    operator_f32 = _worker_csr_f32(handle) if method == "auto" else None
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         x = power_iteration_batch(
@@ -376,7 +392,6 @@ def _solve_shard(
             max_iter=max_iter,
             warn_on_nonconvergence=True,
             method=method,
-            operator_f32=operator_f32,
         )
     messages = [
         str(w.message) for w in caught if issubclass(w.category, ConvergenceWarning)

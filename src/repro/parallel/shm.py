@@ -4,11 +4,15 @@ The process-pool solver (:mod:`repro.parallel.pool`) must not pickle the
 graph into every task: the CSR transition operator is by far the largest
 object in a solve, and serializing it per shard would erase the point of
 sharding.  Instead the parent publishes the three CSR arrays (``indptr``,
-``indices``, ``data``) *once* into :mod:`multiprocessing.shared_memory`
-segments and ships workers only a :class:`CSRHandle` — a small picklable
-record of segment names, dtypes and shapes.  Workers attach to the segments
-and wrap them in a :class:`scipy.sparse.csr_matrix` without copying, so
-every worker solves against the same physical operator bytes.
+``indices``, ``data``) — plus, optionally, a fourth ``data32`` segment
+holding the float32 values, so the accelerated solve path's low-precision
+operator is shared too instead of re-derived per worker — *once* into
+:mod:`multiprocessing.shared_memory` segments and ships workers only a
+:class:`CSRHandle` — a small picklable record of segment names, dtypes and
+shapes.  Workers attach to the segments and wrap them in a
+:class:`scipy.sparse.csr_matrix` (or, via :func:`attach_operator`, a full
+:class:`repro.ops.TransitionOperator`) without copying, so every worker
+solves against the same physical operator bytes.
 
 Lifetime rules
 --------------
@@ -65,19 +69,29 @@ class CSRHandle:
 
     Hashable (all fields are immutable), so workers key their attachment
     cache directly on the handle.
+
+    ``data32`` (optional) names a fourth segment holding the float32 copy of
+    ``data``: the float32 operator variant shares ``indptr``/``indices``
+    with the float64 one, so publishing just the scaled-down values array
+    lets every worker attach the low-precision operator zero-copy instead of
+    deriving a private ``astype(float32)`` copy per process.
     """
 
     shape: "tuple[int, int]"
     indptr: ArraySpec
     indices: ArraySpec
     data: ArraySpec
+    data32: "ArraySpec | None" = None
 
     @property
     def nbytes(self) -> int:
-        """Total payload bytes across the three segments."""
+        """Total payload bytes across all segments."""
+        specs = [self.indptr, self.indices, self.data]
+        if self.data32 is not None:
+            specs.append(self.data32)
         return sum(
             int(np.dtype(spec.dtype).itemsize) * int(np.prod(spec.shape))
-            for spec in (self.indptr, self.indices, self.data)
+            for spec in specs
         )
 
 
@@ -109,13 +123,33 @@ class SharedCSR:
         self._destroyed = False
 
     @classmethod
-    def publish(cls, matrix: sp.spmatrix) -> "SharedCSR":
-        """Copy ``matrix`` (any scipy sparse format) into shared segments."""
+    def publish(
+        cls, matrix: sp.spmatrix, float32_data: "np.ndarray | None" = None
+    ) -> "SharedCSR":
+        """Copy ``matrix`` (any scipy sparse format) into shared segments.
+
+        ``float32_data`` optionally publishes a fourth segment with the
+        float32 values array (must align with ``matrix.data``); pass the
+        ``data`` of an already-derived float32 variant to avoid a second
+        ``astype``, or any float32 array of matching length.  Workers then
+        reconstruct both precision variants from one publication (see
+        :func:`attach_operator`).
+        """
         matrix = sp.csr_matrix(matrix)
+        if float32_data is not None:
+            float32_data = np.asarray(float32_data, dtype=np.float32)
+            if float32_data.shape != matrix.data.shape:
+                raise ValueError(
+                    f"float32_data has shape {float32_data.shape}, "
+                    f"expected {matrix.data.shape}"
+                )
         specs = []
         segments = []
+        arrays = [matrix.indptr, matrix.indices, matrix.data]
+        if float32_data is not None:
+            arrays.append(float32_data)
         try:
-            for array in (matrix.indptr, matrix.indices, matrix.data):
+            for array in arrays:
                 spec, shm = _share_array(array)
                 specs.append(spec)
                 segments.append(shm)
@@ -125,7 +159,11 @@ class SharedCSR:
                 shm.unlink()
             raise
         handle = CSRHandle(
-            shape=tuple(matrix.shape), indptr=specs[0], indices=specs[1], data=specs[2]
+            shape=tuple(matrix.shape),
+            indptr=specs[0],
+            indices=specs[1],
+            data=specs[2],
+            data32=specs[3] if float32_data is not None else None,
         )
         return cls(handle, segments)
 
@@ -169,6 +207,35 @@ def attach_csr(handle: CSRHandle) -> "tuple[sp.csr_matrix, list[shared_memory.Sh
     indptr, indices, data = arrays
     matrix = sp.csr_matrix((data, indices, indptr), shape=handle.shape, copy=False)
     return matrix, segments
+
+
+def attach_operator(handle: CSRHandle):
+    """Attach a published operator as a :class:`repro.ops.TransitionOperator`.
+
+    Returns ``(operator, segments)``; same lifetime rules as
+    :func:`attach_csr` (keep ``segments`` referenced while the operator is
+    in use, ``close()`` them when done — workers cache both per handle).
+    When the handle carries a ``data32`` segment, the operator's float32
+    variant is built over it — sharing ``indptr``/``indices`` with the
+    float64 matrix — so no worker ever derives a private low-precision copy.
+    """
+    from repro.ops import TransitionOperator
+
+    matrix, segments = attach_csr(handle)
+    matrix32 = None
+    if handle.data32 is not None:
+        try:
+            data32, shm32 = _attach_array(handle.data32)
+        except BaseException:
+            for shm in segments:
+                shm.close()
+            raise
+        segments.append(shm32)
+        matrix32 = sp.csr_matrix(
+            (data32, matrix.indices, matrix.indptr), shape=handle.shape, copy=False
+        )
+    operator = TransitionOperator.from_csr(matrix, float32=matrix32)
+    return operator, segments
 
 
 def live_segment_names() -> "list[str]":

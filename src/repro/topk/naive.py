@@ -11,10 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.frank import DEFAULT_ALPHA, frank_vector
-from repro.core.queries import Query, normalize_query
-from repro.core.trank import trank_vector
+from repro.core.frank import DEFAULT_ALPHA, power_iteration
+from repro.core.queries import Query, normalize_query, teleport_vector
 from repro.graph.digraph import DiGraph
+from repro.ops import get_operator
 
 
 @dataclass(frozen=True)
@@ -49,10 +49,16 @@ def naive_topk(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     nodes, weights = normalize_query(graph, query)
+    # The oracle's full-graph fixed points run on the shared prepared
+    # operators of repro.ops — identical arithmetic to frank_vector /
+    # trank_vector, fetched once instead of per query node.
+    f_op = get_operator(graph, transpose=True)
+    t_op = get_operator(graph, transpose=False)
     scores = np.zeros(graph.n_nodes)
     for node, weight in zip(nodes.tolist(), weights.tolist()):
-        f = frank_vector(graph, node, alpha, tol=tol)
-        t = trank_vector(graph, node, alpha, tol=tol)
+        s = teleport_vector(graph, node)
+        f = power_iteration(f_op, s, alpha, tol=tol)
+        t = power_iteration(t_op, s, alpha, tol=tol)
         scores += weight * f * t
     # Imported lazily: repro.serving sits above this package (its bounds
     # hook imports repro.topk), so a module-level import would be circular.

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.parallel.shm import SharedCSR, attach_csr, live_segment_names
+from repro.parallel.shm import SharedCSR, attach_csr, attach_operator, live_segment_names
 
 
 @pytest.fixture()
@@ -84,6 +84,71 @@ class TestHandle:
                 small_csr.indptr.nbytes + small_csr.indices.nbytes + small_csr.data.nbytes
             )
             assert shared.handle.nbytes == expected
+        finally:
+            shared.destroy()
+
+
+class TestFloat32Segment:
+    def test_publish_with_float32_adds_one_segment(self, small_csr):
+        before = set(live_segment_names())
+        shared = SharedCSR.publish(small_csr, float32_data=small_csr.data.astype(np.float32))
+        try:
+            created = set(live_segment_names()) - before
+            assert len(created) == 4
+            assert shared.handle.data32 is not None
+            expected = (
+                small_csr.indptr.nbytes
+                + small_csr.indices.nbytes
+                + small_csr.data.nbytes
+                + small_csr.data.astype(np.float32).nbytes
+            )
+            assert shared.handle.nbytes == expected
+        finally:
+            shared.destroy()
+        assert set(live_segment_names()) & set(created) == set()
+
+    def test_publish_rejects_misaligned_float32(self, small_csr):
+        with pytest.raises(ValueError, match="float32_data"):
+            SharedCSR.publish(small_csr, float32_data=np.zeros(small_csr.nnz + 1, np.float32))
+
+    def test_attach_operator_shares_both_precisions(self, small_csr):
+        shared = SharedCSR.publish(small_csr, float32_data=small_csr.data.astype(np.float32))
+        try:
+            operator, segments = attach_operator(shared.handle)
+            assert len(segments) == 4
+            m64 = operator.matrix(np.float64)
+            m32 = operator.matrix(np.float32)
+            assert np.array_equal(m64.data, small_csr.data)
+            assert np.array_equal(m32.data, small_csr.data.astype(np.float32))
+            # The float32 variant shares the mapped structure arrays — it is
+            # attached, never derived per worker.
+            assert np.shares_memory(m32.indices, m64.indices)
+            assert np.shares_memory(m32.indptr, m64.indptr)
+            assert not m32.data.flags.writeable
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_attach_operator_without_float32_derives_on_demand(self, small_csr):
+        shared = SharedCSR.publish(small_csr)
+        try:
+            operator, segments = attach_operator(shared.handle)
+            assert len(segments) == 3
+            m32 = operator.matrix(np.float32)  # astype fallback, cached
+            assert m32.dtype == np.float32
+            assert operator.matrix(np.float32) is m32
+            for shm in segments:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_handle_with_float32_pickles_and_hashes(self, small_csr):
+        shared = SharedCSR.publish(small_csr, float32_data=small_csr.data.astype(np.float32))
+        try:
+            clone = pickle.loads(pickle.dumps(shared.handle))
+            assert clone == shared.handle
+            assert hash(clone) == hash(shared.handle)
         finally:
             shared.destroy()
 
