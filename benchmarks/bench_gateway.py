@@ -1,0 +1,285 @@
+"""Gateway benchmark: multi-tenant replay through the serving front.
+
+A multi-tenant query log (per-tenant Zipf hot sets, one bursty cold tenant;
+see :func:`repro.datasets.sample_multitenant_queries`) is replayed against
+the query-log graph three ways:
+
+(a) **eviction policy** — the same Zipf stream replayed through a
+    byte-budgeted :class:`repro.serving.ColumnCache` under LRU vs GDSF
+    eviction with a budget far below the working set; GDSF's popularity
+    x cost / size priority must reach at least LRU's hit rate (asserted —
+    the ISSUE acceptance criterion);
+(b) **admission control** — the full mixed log submitted to a
+    :class:`repro.gateway.RankGateway` with a queue-depth bound and
+    per-tenant token buckets on a deterministic replay clock; the observed
+    queue depth must never exceed the bound and every admitted future must
+    resolve (both asserted), with the shed rate and per-lane latency
+    quantiles reported;
+(c) **prefetch** — a cold tenant trickles while heavy tenants churn its
+    columns out of a small cache, then bursts; a single
+    :class:`repro.gateway.Prefetcher` round between trickle and burst must
+    measurably lift the cold tenant's burst hit rate vs the identical
+    replay without prefetch (asserted).
+
+``REPRO_BENCH_GATEWAY_SMOKE=1`` selects the small CI configuration.
+Results land in ``benchmarks/results/gateway.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from benchmarks.common import report, report_json
+from repro.datasets import (
+    QLogConfig,
+    TenantSpec,
+    generate_qlog,
+    sample_multitenant_queries,
+)
+from repro.gateway import AdmissionConfig, Prefetcher, RankGateway, Shed
+from repro.serving import ColumnCache
+
+ALPHA = 0.25
+K = 10
+COLD_TENANT = "cold-burst"
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_GATEWAY_SMOKE", "") == "1"
+
+
+def _tenants() -> "list[TenantSpec]":
+    return [
+        TenantSpec("alpha-heavy", weight=2.0, s=1.1),
+        TenantSpec("beta-steady", weight=1.0, s=1.3),
+        TenantSpec(COLD_TENANT, weight=0.25, s=1.3, burst_phases=(3,), burst_multiplier=25.0),
+    ]
+
+
+def _setup():
+    """(graph, population, n_queries) for the active mode."""
+    if _smoke():
+        qlog = generate_qlog(QLogConfig(n_concepts=60, seed=13))
+        return qlog.graph, qlog.phrase_nodes, 500
+    qlog = generate_qlog(QLogConfig(n_concepts=400, seed=13))
+    return qlog.graph, qlog.phrase_nodes, 3000
+
+
+class _ReplayClock:
+    """Deterministic arrival clock: one tick per query."""
+
+    def __init__(self, tick: float) -> None:
+        self.tick = float(tick)
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self) -> None:
+        self.now += self.tick
+
+
+def _policy_hit_rate(graph, stream: np.ndarray, policy: str, max_bytes: int) -> float:
+    cache = ColumnCache(max_bytes=max_bytes, alpha=ALPHA, policy=policy)
+    for q in stream.tolist():
+        cache.get(graph, "f", int(q))
+    return cache.cache_info().hit_rate
+
+
+def run_gateway(graph, population, n_queries) -> "tuple[str, dict]":
+    log = sample_multitenant_queries(
+        population, n_queries, _tenants(), n_phases=4, seed=23
+    )
+    n_distinct = int(np.unique(log.nodes).size)
+    col_bytes = graph.n_nodes * 8
+    lines = [
+        "Multi-tenant serving gateway: eviction policy, admission, prefetch",
+        f"graph: {graph.n_nodes} nodes / {graph.n_edges} arcs; "
+        f"{n_queries} queries, {len(log.tenants)} tenants, 4 phases "
+        f"({n_distinct} distinct nodes); mode: {'smoke' if _smoke() else 'full'}",
+        "",
+    ]
+
+    # ---------------------------------------------------------------- (a) #
+    # Cache budget ~12% of the distinct working set: eviction decides hits.
+    budget_cols = max(4, n_distinct // 8)
+    max_bytes = budget_cols * col_bytes
+    lru_rate = _policy_hit_rate(graph, log.nodes, "lru", max_bytes)
+    gdsf_rate = _policy_hit_rate(graph, log.nodes, "gdsf", max_bytes)
+    lines.append(
+        f"(a) eviction policy on the mixed Zipf log, budget {budget_cols} columns "
+        f"of {n_distinct} distinct"
+    )
+    lines.append(f"  byte-LRU hit rate: {lru_rate:7.1%}")
+    lines.append(f"  GDSF     hit rate: {gdsf_rate:7.1%}   (popularity x cost / size)")
+    assert gdsf_rate >= lru_rate, (
+        f"GDSF hit rate {gdsf_rate:.3f} fell below byte-LRU {lru_rate:.3f}"
+    )
+
+    # ---------------------------------------------------------------- (b) #
+    depth_bound = 8
+    clock = _ReplayClock(tick=0.001)
+    gateway = RankGateway(
+        graph,
+        cache=ColumnCache(alpha=ALPHA, policy="gdsf"),
+        admission=AdmissionConfig(rate=250.0, burst=25, max_queue_depth=depth_bound),
+        max_batch=1000,  # no size trigger: admission alone bounds the queue
+        clock=clock,
+    )
+    futures = []
+    max_depth = 0
+    for tid, node in zip(log.tenant_ids.tolist(), log.nodes.tolist()):
+        clock.advance()
+        result = gateway.submit(int(node), tenant=log.tenants[tid], k=K)
+        max_depth = max(max_depth, gateway.total_pending())
+        if isinstance(result, Shed):
+            if result.reason == "queue_full":
+                gateway.flush_all()  # backpressure: drain, then keep going
+        else:
+            futures.append(result)
+    gateway.flush_all()
+    n_resolved = sum(future.done() for future in futures)
+    snap = gateway.snapshot()
+    info = gateway.cache.cache_info()
+    lane_key = ("default", "roundtriprank", ALPHA)
+    lane = snap.lanes[lane_key]
+    lines.append("")
+    lines.append(
+        f"(b) gateway replay: token bucket (250/s, burst 25) + depth bound {depth_bound}"
+    )
+    lines.append(
+        f"  admitted {snap.n_admitted} / shed {snap.n_shed} "
+        f"(rate_limit {snap.shed_by_reason.get('rate_limit', 0)}, "
+        f"queue_full {snap.shed_by_reason.get('queue_full', 0)}) "
+        f"-> shed rate {snap.shed_rate:.1%}"
+    )
+    lines.append(
+        f"  max observed queue depth: {max_depth} (bound {depth_bound}); "
+        f"resolved futures: {n_resolved}/{len(futures)}"
+    )
+    lines.append(
+        f"  shared-cache hit rate {info.hit_rate:.1%} "
+        f"({info.hits} hits / {info.misses} misses, {info.evictions} evictions)"
+    )
+    lines.append(
+        f"  lane latency: p50 {lane.p50_ms:.3f} ms, p90 {lane.p90_ms:.3f} ms, "
+        f"p99 {lane.p99_ms:.3f} ms over {lane.count} samples"
+    )
+    assert max_depth <= depth_bound, f"queue depth {max_depth} exceeded bound {depth_bound}"
+    assert n_resolved == len(futures), (
+        f"{len(futures) - n_resolved} accepted futures never resolved"
+    )
+    gateway.close()
+
+    # ---------------------------------------------------------------- (c) #
+    # Cold tenant: during phases 0-2 its trickle-cached columns are churned
+    # out by the heavy tenants (the cache holds ~70% of the working set);
+    # one prefetch round before the phase-3 burst re-warms its hot set from
+    # the frequency estimates that *outlived* eviction.  Two metrics:
+    # first-touch residency (was a distinct burst node resident when first
+    # queried — the cold-start cost prefetch exists to remove) and the
+    # per-arrival hit rate over the whole burst.
+    c_budget = 6 * budget_cols  # ~70% of distinct columns stay resident
+
+    def replay_with_cold_measurement(with_prefetch: bool):
+        small = ColumnCache(max_bytes=c_budget * col_bytes, alpha=ALPHA)
+        gw = RankGateway(graph, cache=small, max_batch=64)
+        cold_id = log.tenants.index(COLD_TENANT)
+        for phase in range(3):
+            tids, nodes = log.phase_slice(phase)
+            for tid, node in zip(tids.tolist(), nodes.tolist()):
+                gw.ask(int(node), tenant=log.tenants[tid], k=K)
+        warmed = 0
+        if with_prefetch:
+            warmed = Prefetcher(
+                gw, per_tenant=16, batch_size=48, chunk=8
+            ).run_once()
+        seen: set = set()
+        first_hits = hits = total = 0
+        tids, nodes = log.phase_slice(3)
+        for tid, node in zip(tids.tolist(), nodes.tolist()):
+            node = int(node)
+            if tid == cold_id:
+                resident = int(
+                    small.contains(graph, "f", node, ALPHA)
+                    and small.contains(graph, "t", node, ALPHA)
+                )
+                total += 1
+                hits += resident
+                if node not in seen:
+                    seen.add(node)
+                    first_hits += resident
+            gw.ask(node, tenant=log.tenants[tid], k=K)
+        gw.close()
+        return (
+            first_hits / len(seen) if seen else 0.0,
+            hits / total if total else 0.0,
+            warmed,
+        )
+
+    cold_first, cold_arrival, _ = replay_with_cold_measurement(with_prefetch=False)
+    warm_first, warm_arrival, n_warmed = replay_with_cold_measurement(with_prefetch=True)
+    lines.append("")
+    lines.append(
+        f"(c) cold-tenant burst, one prefetch round between trickle and burst "
+        f"(cache {c_budget} of {n_distinct} columns)"
+    )
+    lines.append(
+        f"  no prefetch:   first-touch {cold_first:7.1%}   per-arrival {cold_arrival:7.1%}"
+    )
+    lines.append(
+        f"  with prefetch: first-touch {warm_first:7.1%}   per-arrival {warm_arrival:7.1%}"
+        f"   ({n_warmed} columns solved by prefetch)"
+    )
+    assert warm_first > cold_first, (
+        f"prefetch did not lift the cold-tenant first-touch hit rate "
+        f"({warm_first:.3f} <= {cold_first:.3f})"
+    )
+    assert warm_arrival >= cold_arrival, (
+        f"prefetch hurt the per-arrival hit rate ({warm_arrival:.3f} < {cold_arrival:.3f})"
+    )
+    lines.append("")
+    lines.append(
+        "acceptance: GDSF >= LRU, depth bounded + all admitted futures resolved, "
+        "prefetch lifts cold-tenant hit rate — all hold"
+    )
+
+    metrics = {
+        "mode": "smoke" if _smoke() else "full",
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "n_queries": int(n_queries),
+        "n_distinct": n_distinct,
+        "n_tenants": len(log.tenants),
+        "budget_columns": int(budget_cols),
+        "lru_hit_rate": lru_rate,
+        "gdsf_hit_rate": gdsf_rate,
+        "shed_rate": snap.shed_rate,
+        "shed_by_reason": dict(snap.shed_by_reason),
+        "n_admitted": snap.n_admitted,
+        "n_resolved": int(n_resolved),
+        "max_queue_depth": int(max_depth),
+        "queue_depth_bound": depth_bound,
+        "gateway_hit_rate": info.hit_rate,
+        "lane_p50_ms": lane.p50_ms,
+        "lane_p90_ms": lane.p90_ms,
+        "lane_p99_ms": lane.p99_ms,
+        "cold_cache_columns": int(c_budget),
+        "cold_tenant_first_touch_no_prefetch": cold_first,
+        "cold_tenant_first_touch_prefetch": warm_first,
+        "cold_tenant_hit_rate_no_prefetch": cold_arrival,
+        "cold_tenant_hit_rate_prefetch": warm_arrival,
+        "prefetched_columns": int(n_warmed),
+    }
+    return "\n".join(lines), metrics
+
+
+def test_bench_gateway(benchmark):
+    graph, population, n_queries = _setup()
+    text, metrics = benchmark.pedantic(
+        run_gateway, args=(graph, population, n_queries), rounds=1, iterations=1
+    )
+    report("gateway", text)
+    report_json("gateway", metrics)

@@ -29,6 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 os.environ["REPRO_BENCH_BATCH_SMOKE"] = "1"
 os.environ["REPRO_BENCH_SERVING_SMOKE"] = "1"
 os.environ["REPRO_BENCH_PARALLEL_SMOKE"] = "1"
+os.environ["REPRO_BENCH_GATEWAY_SMOKE"] = "1"
 
 from benchmarks.common import RESULTS_DIR  # noqa: E402
 
@@ -45,7 +46,7 @@ def _metrics(name: str, rerun) -> dict:
 
 
 def main() -> int:
-    from benchmarks import bench_batch_engine, bench_parallel, bench_serving
+    from benchmarks import bench_batch_engine, bench_gateway, bench_parallel, bench_serving
 
     payload = {
         "schema": 1,
@@ -64,6 +65,12 @@ def main() -> int:
         ),
         "parallel": _metrics(
             "parallel", lambda: bench_parallel.run_parallel(*bench_parallel._setup())
+        ),
+        # The gateway leg records the serving-path health numbers per commit:
+        # GDSF-vs-LRU hit rates, admission shed rate, queue-depth bound, and
+        # the cold-tenant prefetch lift (all asserted inside the bench).
+        "gateway": _metrics(
+            "gateway", lambda: bench_gateway.run_gateway(*bench_gateway._setup())
         ),
     }
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -6,16 +6,27 @@ structure-preserving synthetic substitutes (see DESIGN.md, Substitutions).
 """
 
 from repro.datasets.bibnet import BibNet, BibNetConfig, generate_bibnet
-from repro.datasets.qlog import QLog, QLogConfig, generate_qlog, sample_zipf_queries
+from repro.datasets.qlog import (
+    MultiTenantLog,
+    QLog,
+    QLogConfig,
+    TenantSpec,
+    generate_qlog,
+    sample_multitenant_queries,
+    sample_zipf_queries,
+)
 from repro.datasets.toy import FIG4_EXPECTED_MASS, TOY_TYPE_NAMES, toy_bibliographic_graph
 
 __all__ = [
     "BibNet",
     "BibNetConfig",
     "generate_bibnet",
+    "MultiTenantLog",
     "QLog",
     "QLogConfig",
+    "TenantSpec",
     "generate_qlog",
+    "sample_multitenant_queries",
     "sample_zipf_queries",
     "FIG4_EXPECTED_MASS",
     "TOY_TYPE_NAMES",

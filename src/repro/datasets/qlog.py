@@ -27,6 +27,7 @@ structure-preserving substitute (DESIGN.md, Substitution 2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -191,6 +192,186 @@ def sample_zipf_queries(
     probs = np.arange(1, ranked.size + 1, dtype=np.float64) ** -float(s)
     probs /= probs.sum()
     return ranked[rng.choice(ranked.size, size=int(n_queries), p=probs)]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a multi-tenant query mixture.
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier carried on every query of the stream.
+    weight:
+        Relative arrival share in non-burst phases (need not be normalized).
+    s:
+        The tenant's own Zipf skew; tenants get *independent* popularity
+        permutations, so their hot heads are disjoint with high probability —
+        the property that makes shared-cache contention and per-tenant
+        prefetch non-trivial.
+    burst_phases:
+        Phase indices (see ``n_phases`` of :func:`sample_multitenant_queries`)
+        during which this tenant's arrival weight is multiplied by
+        ``burst_multiplier`` — modelling the bursty tenant that goes from
+        trickle to flood.
+    burst_multiplier:
+        The weight multiplier applied in burst phases.
+    """
+
+    name: str
+    weight: float = 1.0
+    s: float = 1.1
+    burst_phases: "tuple[int, ...]" = ()
+    burst_multiplier: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be > 0, got {self.weight}")
+        if self.s <= 0:
+            raise ValueError(f"tenant s must be > 0, got {self.s}")
+        if self.burst_multiplier <= 0:
+            raise ValueError(
+                f"burst_multiplier must be > 0, got {self.burst_multiplier}"
+            )
+
+
+@dataclass(frozen=True)
+class MultiTenantLog:
+    """A mixed multi-tenant query stream in arrival order.
+
+    ``nodes[i]`` is the queried node of the ``i``-th arrival, issued by
+    tenant ``tenants[tenant_ids[i]]`` during phase ``phases[i]``.
+    """
+
+    tenants: "tuple[str, ...]"
+    tenant_ids: np.ndarray  # int64, index into ``tenants``
+    nodes: np.ndarray  # int64 node ids
+    phases: np.ndarray  # int64 phase index per arrival
+    n_phases: int
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
+
+    def for_tenant(self, name: str) -> np.ndarray:
+        """This tenant's queried nodes, in arrival order."""
+        try:
+            tid = self.tenants.index(name)
+        except ValueError:
+            raise KeyError(f"unknown tenant {name!r}; have {self.tenants}") from None
+        return self.nodes[self.tenant_ids == tid]
+
+    def phase_slice(self, phase: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(tenant_ids, nodes)`` of one phase, in arrival order."""
+        mask = self.phases == phase
+        return self.tenant_ids[mask], self.nodes[mask]
+
+
+def sample_multitenant_queries(
+    population: "np.ndarray | list[int] | int",
+    n_queries: int,
+    tenants: "Sequence[TenantSpec]",
+    n_phases: int = 4,
+    seed: "int | np.random.Generator" = 0,
+) -> MultiTenantLog:
+    """A seeded multi-tenant query mixture: per-tenant Zipf skew + bursts.
+
+    The single-tenant :func:`sample_zipf_queries` models one repeated-query
+    stream; a serving *gateway* faces a mixture — several tenants with their
+    own hot sets and skews, arrival shares that shift when a tenant bursts,
+    and phases during which a previously-quiet tenant floods in (the
+    cold-tenant case background prefetch exists for).  This sampler makes
+    that workload reproducible:
+
+    - each tenant draws from its own seeded popularity permutation of
+      ``population`` with its own Zipf exponent ``s`` (independent hot heads);
+    - the stream is split into ``n_phases`` equal contiguous phases; within
+      phase ``p`` each arrival picks its tenant from the categorical
+      distribution of tenant weights, with ``burst_multiplier`` applied to
+      tenants whose ``burst_phases`` contain ``p``;
+    - everything derives from one :class:`numpy.random.SeedSequence`-spawned
+      stream per tenant plus one for arrival mixing, so the log is
+      deterministic per ``(population, n_queries, tenants, n_phases, seed)``.
+
+    Returns a :class:`MultiTenantLog` (arrival-ordered tenant ids, node ids
+    and phase indices).
+    """
+    if isinstance(population, (int, np.integer)):
+        population = np.arange(int(population), dtype=np.int64)
+    else:
+        population = np.asarray(population, dtype=np.int64)
+    if population.size == 0:
+        raise ValueError("population must not be empty")
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if n_phases < 1:
+        raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+    specs = list(tenants)
+    if not specs:
+        raise ValueError("tenants must not be empty")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    for spec in specs:
+        for p in spec.burst_phases:
+            if not 0 <= p < n_phases:
+                raise ValueError(
+                    f"tenant {spec.name!r} bursts in phase {p}, "
+                    f"but only {n_phases} phases exist"
+                )
+
+    base = ensure_rng(seed)
+    # One independent child stream per tenant plus one for arrival mixing,
+    # derived from the caller's seed so the whole log replays exactly.
+    children = np.random.SeedSequence(
+        base.integers(np.iinfo(np.int64).max)
+    ).spawn(len(specs) + 1)
+    mix_rng = np.random.default_rng(children[-1])
+
+    # Per-tenant Zipf machinery: own permutation (hot head), own exponent.
+    ranked: "list[np.ndarray]" = []
+    probs: "list[np.ndarray]" = []
+    for spec, child in zip(specs, children):
+        rng = np.random.default_rng(child)
+        ranked.append(rng.permutation(population))
+        weights = np.arange(1, population.size + 1, dtype=np.float64) ** -float(spec.s)
+        probs.append(weights / weights.sum())
+
+    # Arrival mixing: phase-dependent categorical over tenants.
+    tenant_ids = np.empty(n_queries, dtype=np.int64)
+    phases = np.empty(n_queries, dtype=np.int64)
+    bounds = np.linspace(0, n_queries, n_phases + 1).astype(np.int64)
+    for p in range(n_phases):
+        lo, hi = int(bounds[p]), int(bounds[p + 1])
+        if hi <= lo:
+            continue
+        share = np.array(
+            [
+                spec.weight * (spec.burst_multiplier if p in spec.burst_phases else 1.0)
+                for spec in specs
+            ]
+        )
+        share /= share.sum()
+        tenant_ids[lo:hi] = mix_rng.choice(len(specs), size=hi - lo, p=share)
+        phases[lo:hi] = p
+
+    # Per-tenant node draws from that tenant's own Zipf stream.
+    nodes = np.empty(n_queries, dtype=np.int64)
+    for tid, spec in enumerate(specs):
+        mask = tenant_ids == tid
+        count = int(mask.sum())
+        if count:
+            rng = np.random.default_rng(children[tid].spawn(1)[0])
+            nodes[mask] = ranked[tid][rng.choice(population.size, size=count, p=probs[tid])]
+
+    return MultiTenantLog(
+        tenants=tuple(names),
+        tenant_ids=tenant_ids,
+        nodes=nodes,
+        phases=phases,
+        n_phases=int(n_phases),
+    )
 
 
 def generate_qlog(config: "QLogConfig | None" = None) -> QLog:

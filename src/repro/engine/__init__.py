@@ -14,7 +14,12 @@ Two pillars, both amortizing work across many units at once:
 
 The single-query functions in :mod:`repro.core` are thin wrappers over (or
 reference implementations for) these paths; batch columns match them
-exactly.  Every operator product dispatches through
+exactly.  Online serving stacks on the same two batch entry points:
+:class:`repro.serving.ColumnCache` misses and warms solve through
+``frank_batch`` / ``trank_batch`` (optionally sharded with ``workers=``),
+which is also how the gateway's background
+:class:`repro.gateway.Prefetcher` materializes hot columns during idle
+capacity.  Every operator product dispatches through
 :mod:`repro.ops` (the prepared per-graph :class:`~repro.ops.TransitionOperator`
 and the pluggable ``REPRO_KERNEL`` matmat kernels), and ``method="power"``
 results are bit-identical under every kernel.

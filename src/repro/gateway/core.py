@@ -1,0 +1,347 @@
+"""The multi-tenant serving front: lane routing over shared serving state.
+
+:class:`RankGateway` is the one object a service embeds.  It owns:
+
+- a registry of named graphs (tenants address graphs by name, never by
+  object);
+- one shared :class:`repro.serving.ColumnCache` — every lane's flushes and
+  the prefetcher's warming land in the same per-node column store, so a
+  column solved for one tenant serves every tenant (columns are per-node
+  facts, not per-tenant data);
+- a bounded set of **lanes**: one :class:`repro.serving.MicroBatcher` per
+  ``(graph, measure, alpha)``, created lazily on first use and evicted
+  least-recently-used when ``max_lanes`` would be exceeded (an evicted lane
+  is closed, which flushes and resolves its outstanding futures — eviction
+  never strands a caller);
+- an :class:`repro.gateway.admission.AdmissionController` consulted *before*
+  enqueueing, so a shed query never owns a future;
+- a :class:`repro.gateway.frequency.FrequencyEstimator` fed by every
+  admitted query, which the background prefetcher reads;
+- a :class:`repro.gateway.stats.GatewayStats` recording admissions, sheds,
+  prefetch activity, and per-lane latency quantiles.
+
+The per-lane queue-depth bound is *hard*: each lane carries an admission
+lock held across the depth check and the enqueue, so concurrent submitters
+cannot overshoot ``max_queue_depth`` (asserted under thread churn by the
+gateway test suite).  The lock is per-lane — one lane's inline size-trigger
+solve never blocks admission to other lanes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable, NamedTuple, Union
+
+from repro.core.frank import DEFAULT_ALPHA
+from repro.core.queries import Query, normalize_query
+from repro.core.roundtrip_plus import DEFAULT_BETA
+from repro.gateway.admission import AdmissionConfig, AdmissionController, Shed
+from repro.gateway.frequency import FrequencyEstimator
+from repro.gateway.stats import GatewaySnapshot, GatewayStats
+from repro.graph.digraph import DiGraph
+from repro.serving.batcher import MEASURES, MicroBatcher
+from repro.serving.cache import ColumnCache
+
+
+class LaneKey(NamedTuple):
+    """Identity of one micro-batching lane."""
+
+    graph: str
+    measure: str
+    alpha: float
+
+
+class _Lane:
+    """A batcher plus the admission lock that makes its depth bound hard."""
+
+    __slots__ = ("batcher", "admission_lock")
+
+    def __init__(self, batcher: MicroBatcher) -> None:
+        self.batcher = batcher
+        self.admission_lock = threading.Lock()
+
+
+class RankGateway:
+    """Route multi-tenant ranking queries to shared-cache batcher lanes.
+
+    Parameters
+    ----------
+    graphs:
+        ``{name: DiGraph}`` (or a single graph, registered as ``"default"``).
+        More graphs may be added later with :meth:`add_graph`.
+    cache:
+        The shared :class:`ColumnCache`; built with defaults when omitted.
+        Its ``alpha`` is the gateway's default query alpha.
+    admission:
+        An :class:`AdmissionConfig` (or ready controller).  The default
+        config rate-limits nothing and bounds lanes at 64 pending queries.
+    max_lanes:
+        Upper bound on simultaneously-live lanes; the least recently *used*
+        lane is closed (flushing its futures) to admit a new one.
+    max_batch, max_delay:
+        Per-lane :class:`MicroBatcher` trigger configuration.
+    beta:
+        The ``roundtriprank_plus`` interpolation used by plus-measure lanes.
+    clock:
+        Injectable monotonic clock shared by admission and stats (tests).
+
+    Lifecycle: :meth:`start` launches each lane's deadline thread (lanes
+    created later start automatically); :meth:`close` is terminal — it
+    closes every lane (resolving all outstanding futures) and makes further
+    :meth:`submit` calls return ``Shed(reason="closed")``.
+    """
+
+    def __init__(
+        self,
+        graphs: "dict[str, DiGraph] | DiGraph",
+        cache: "ColumnCache | None" = None,
+        admission: "AdmissionConfig | AdmissionController | None" = None,
+        max_lanes: int = 8,
+        max_batch: int = 32,
+        max_delay: float = 0.01,
+        beta: float = DEFAULT_BETA,
+        frequency_half_life: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_lanes < 1:
+            raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
+        if isinstance(graphs, DiGraph):
+            graphs = {"default": graphs}
+        if not graphs:
+            raise ValueError("at least one graph must be registered")
+        self._graphs: "dict[str, DiGraph]" = dict(graphs)
+        self.cache = cache if cache is not None else ColumnCache()
+        if isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(admission, clock=clock)
+        self.max_lanes = int(max_lanes)
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.beta = float(beta)
+        self.stats = GatewayStats()
+        self.frequency = FrequencyEstimator(half_life=frequency_half_life, clock=clock)
+        self._clock = clock
+        self._lanes: "OrderedDict[LaneKey, _Lane]" = OrderedDict()
+        self._registry_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Graph registry
+    # ------------------------------------------------------------------ #
+
+    def add_graph(self, name: str, graph: DiGraph) -> None:
+        """Register another graph under ``name`` (names are immutable)."""
+        with self._registry_lock:
+            if name in self._graphs:
+                raise ValueError(f"graph {name!r} is already registered")
+            self._graphs[name] = graph
+
+    def graph(self, name: "str | None" = None) -> DiGraph:
+        """The named graph; with one graph registered, ``None`` selects it."""
+        return self._resolve_graph(name)[1]
+
+    def _resolve_graph(self, name: "str | None") -> "tuple[str, DiGraph]":
+        """``(name, graph)`` under one registry-lock acquisition."""
+        with self._registry_lock:
+            if name is None:
+                if len(self._graphs) == 1:
+                    return next(iter(self._graphs.items()))
+                raise ValueError(
+                    f"graph name required: {sorted(self._graphs)} are registered"
+                )
+            try:
+                return name, self._graphs[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
+                ) from None
+
+    # ------------------------------------------------------------------ #
+    # Lane management
+    # ------------------------------------------------------------------ #
+
+    def _lane(self, key: LaneKey) -> "tuple[_Lane | None, _Lane | None]":
+        """Get-or-create the lane for ``key``; returns ``(lane, evicted)``.
+
+        Returns ``(None, None)`` when the gateway closed concurrently — a
+        lane must never be created after ``close()`` swept the registry, or
+        its futures could be stranded unflushed.  The evicted lane (if any)
+        must be closed by the caller *outside* the registry lock — closing
+        flushes, and a flush may solve.
+        """
+        with self._registry_lock:
+            if self._closed:
+                return None, None
+            lane = self._lanes.get(key)
+            if lane is not None:
+                self._lanes.move_to_end(key)
+                return lane, None
+            batcher = MicroBatcher(
+                self._graphs[key.graph],
+                measure=key.measure,
+                alpha=key.alpha,
+                beta=self.beta,
+                max_batch=self.max_batch,
+                max_delay=self.max_delay,
+                cache=self.cache,
+            )
+            if self._started:
+                batcher.start()
+            lane = _Lane(batcher)
+            self._lanes[key] = lane
+            evicted = None
+            if len(self._lanes) > self.max_lanes:
+                _, evicted = self._lanes.popitem(last=False)
+            return lane, evicted
+
+    def lanes(self) -> "list[LaneKey]":
+        """Live lane keys, least recently used first."""
+        with self._registry_lock:
+            return list(self._lanes)
+
+    def total_pending(self) -> int:
+        """Queries queued across all lanes (the prefetcher's idle signal)."""
+        with self._registry_lock:
+            lanes = list(self._lanes.values())
+        return sum(lane.batcher.pending for lane in lanes)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        query: Query,
+        tenant: str = "default",
+        graph: "str | None" = None,
+        measure: str = "roundtriprank",
+        alpha: "float | None" = None,
+        k: "int | None" = None,
+    ) -> "Union[Future, Shed]":
+        """Admit-and-enqueue one query; a future, or a typed :class:`Shed`.
+
+        Invalid *queries* (unknown graph/measure, out-of-range nodes, bad
+        ``k``) raise synchronously — they are caller bugs, not load, and
+        must not be confused with shedding.  An admitted query's future
+        always resolves: to the score vector (or ``(indices, scores)`` when
+        ``k`` is given), or to the solver's exception.
+        """
+        if measure not in MEASURES:
+            raise ValueError(f"measure must be one of {MEASURES}, got {measure!r}")
+        graph_name, graph_obj = self._resolve_graph(graph)
+        if alpha is None:
+            alpha = getattr(self.cache, "alpha", DEFAULT_ALPHA)
+        key = LaneKey(graph_name, measure, float(alpha))
+        # Validate before admission: a malformed query (or k) must raise even
+        # when it would have been shed, and must never consume a rate token.
+        nodes, weights = normalize_query(graph_obj, query)
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        while True:
+            lane, evicted = self._lane(key)
+            if lane is None:  # gateway closed
+                shed = Shed(reason="closed", tenant=tenant, lane=tuple(key))
+                self.stats.record_shed(tenant, shed.reason)
+                return shed
+            if evicted is not None:
+                self._close_lane(evicted)
+            with lane.admission_lock:
+                if lane.batcher.closed:
+                    continue  # evicted between lookup and lock: retry fresh
+                shed = self.admission.admit(
+                    tenant, tuple(key), lane.batcher.pending
+                )
+                if shed is not None:
+                    self.stats.record_shed(tenant, shed.reason)
+                    return shed
+                started = self._clock()
+                future = lane.batcher.submit(query, k=k, parsed=(nodes, weights))
+            break
+
+        self.stats.record_admitted(tenant)
+        for node, weight in zip(nodes.tolist(), weights.tolist()):
+            self.frequency.record(tenant, (graph_name, float(alpha)), node, weight)
+        clock = self._clock
+
+        def _record(_f: Future, lane_key=tuple(key), t0=started) -> None:
+            self.stats.record_latency(lane_key, clock() - t0)
+
+        future.add_done_callback(_record)
+        return future
+
+    def ask(self, query: Query, **kwargs):
+        """Synchronous convenience: submit, flush the lane, return scores.
+
+        Raises ``RuntimeError`` if the query is shed — the synchronous
+        caller has no queue to retry from.
+        """
+        result = self.submit(query, **kwargs)
+        if isinstance(result, Shed):
+            raise RuntimeError(
+                f"query shed ({result.reason}) for tenant {result.tenant!r}"
+            )
+        self.flush_all()
+        return result.result()
+
+    def flush_all(self) -> int:
+        """Force-solve everything pending in every lane; total flushed."""
+        with self._registry_lock:
+            lanes = list(self._lanes.values())
+        return sum(lane.batcher.flush() for lane in lanes)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "RankGateway":
+        """Start deadline threads on all lanes, current and future."""
+        with self._registry_lock:
+            if self._closed:
+                raise RuntimeError("RankGateway is closed and cannot be restarted")
+            self._started = True
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            lane.batcher.start()
+        return self
+
+    def _close_lane(self, lane: _Lane) -> None:
+        with lane.admission_lock:
+            lane.batcher.close()
+
+    def close(self) -> None:
+        """Terminal: close every lane (their futures resolve), shed new work."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            lanes = list(self._lanes.values())
+            self._lanes.clear()
+        for lane in lanes:
+            self._close_lane(lane)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "RankGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def snapshot(self) -> GatewaySnapshot:
+        """Current :class:`GatewaySnapshot` (see also ``cache.cache_info()``)."""
+        return self.stats.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.stats.snapshot()
+        return (
+            f"RankGateway(graphs={sorted(self._graphs)}, lanes={len(self._lanes)}/"
+            f"{self.max_lanes}, admitted={snap.n_admitted}, shed={snap.n_shed})"
+        )

@@ -1,0 +1,138 @@
+"""Gateway observability: counters and per-lane latency quantiles.
+
+:class:`GatewayStats` is the single mutation point for everything the
+gateway counts — admissions, sheds by reason, per-tenant traffic, prefetch
+activity — plus a bounded latency reservoir per lane from which snapshot
+quantiles (p50/p90/p99) are computed.  All methods are thread-safe; reads
+return plain frozen snapshots so callers can serialize them (the benchmark
+writes them into ``gateway.json`` as-is).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Latency samples retained per lane; old samples fall off, so quantiles
+#: describe recent behavior rather than the whole process lifetime.
+DEFAULT_RESERVOIR = 4096
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Latency summary of one lane at snapshot time (milliseconds)."""
+
+    count: int
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+
+@dataclass(frozen=True)
+class GatewaySnapshot:
+    """A point-in-time, serialization-friendly view of gateway activity."""
+
+    n_admitted: int
+    n_shed: int
+    shed_by_reason: "dict[str, int]" = field(default_factory=dict)
+    admitted_by_tenant: "dict[str, int]" = field(default_factory=dict)
+    shed_by_tenant: "dict[str, int]" = field(default_factory=dict)
+    n_prefetch_runs: int = 0
+    n_prefetched_columns: int = 0
+    lanes: "dict[tuple, LaneStats]" = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.n_admitted + self.n_shed
+        return self.n_shed / total if total else 0.0
+
+    def to_jsonable(self) -> dict:
+        """The snapshot with lane tuples flattened to strings (JSON keys)."""
+        return {
+            "n_admitted": self.n_admitted,
+            "n_shed": self.n_shed,
+            "shed_rate": self.shed_rate,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "admitted_by_tenant": dict(self.admitted_by_tenant),
+            "shed_by_tenant": dict(self.shed_by_tenant),
+            "n_prefetch_runs": self.n_prefetch_runs,
+            "n_prefetched_columns": self.n_prefetched_columns,
+            "lanes": {
+                "/".join(str(part) for part in lane): {
+                    "count": s.count,
+                    "p50_ms": s.p50_ms,
+                    "p90_ms": s.p90_ms,
+                    "p99_ms": s.p99_ms,
+                    "max_ms": s.max_ms,
+                }
+                for lane, s in self.lanes.items()
+            },
+        }
+
+
+class GatewayStats:
+    """Thread-safe counters + per-lane latency reservoirs."""
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        self._reservoir = int(reservoir)
+        self._lock = threading.Lock()
+        self._n_admitted = 0
+        self._shed_by_reason: Counter = Counter()
+        self._admitted_by_tenant: Counter = Counter()
+        self._shed_by_tenant: Counter = Counter()
+        self._n_prefetch_runs = 0
+        self._n_prefetched_columns = 0
+        self._latencies: "dict[tuple, deque]" = {}
+
+    def record_admitted(self, tenant: str) -> None:
+        with self._lock:
+            self._n_admitted += 1
+            self._admitted_by_tenant[tenant] += 1
+
+    def record_shed(self, tenant: str, reason: str) -> None:
+        with self._lock:
+            self._shed_by_reason[reason] += 1
+            self._shed_by_tenant[tenant] += 1
+
+    def record_latency(self, lane: tuple, seconds: float) -> None:
+        with self._lock:
+            samples = self._latencies.get(lane)
+            if samples is None:
+                samples = self._latencies[lane] = deque(maxlen=self._reservoir)
+            samples.append(float(seconds))
+
+    def record_prefetch(self, n_columns: int) -> None:
+        with self._lock:
+            self._n_prefetch_runs += 1
+            self._n_prefetched_columns += int(n_columns)
+
+    def snapshot(self) -> GatewaySnapshot:
+        with self._lock:
+            lanes = {}
+            for lane, samples in self._latencies.items():
+                if not samples:
+                    continue
+                ms = np.asarray(samples, dtype=np.float64) * 1000.0
+                lanes[lane] = LaneStats(
+                    count=int(ms.size),
+                    p50_ms=float(np.percentile(ms, 50)),
+                    p90_ms=float(np.percentile(ms, 90)),
+                    p99_ms=float(np.percentile(ms, 99)),
+                    max_ms=float(ms.max()),
+                )
+            return GatewaySnapshot(
+                n_admitted=self._n_admitted,
+                n_shed=sum(self._shed_by_reason.values()),
+                shed_by_reason=dict(self._shed_by_reason),
+                admitted_by_tenant=dict(self._admitted_by_tenant),
+                shed_by_tenant=dict(self._shed_by_tenant),
+                n_prefetch_runs=self._n_prefetch_runs,
+                n_prefetched_columns=self._n_prefetched_columns,
+                lanes=lanes,
+            )

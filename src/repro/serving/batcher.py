@@ -168,20 +168,34 @@ class MicroBatcher:
         self._thread: "threading.Thread | None" = None
         self._stopping = False
         self._closed = False
+        # Deadline-loop iterations since start(); an *idle* batcher parks on
+        # the condition without timeout, so this stays at 1 while nothing is
+        # queued — asserted by tests as the no-polling contract.
+        self._loop_wakeups = 0
 
     # ------------------------------------------------------------------ #
     # Submission API
     # ------------------------------------------------------------------ #
 
-    def submit(self, query: Query, k: "int | None" = None) -> Future:
+    def submit(
+        self,
+        query: Query,
+        k: "int | None" = None,
+        parsed: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> Future:
         """Queue one query; returns a future resolving to its scores.
 
         The future's result is the full score vector, or an
         ``(indices, scores)`` top-``k`` pair when ``k`` is given.  Invalid
         queries raise here (synchronously), never through the future;
-        submitting to a closed batcher raises ``RuntimeError``.
+        submitting to a closed batcher raises ``RuntimeError``.  ``parsed``
+        lets a caller that already ran :func:`normalize_query` on this
+        graph's ``query`` (the gateway validates before admission) pass the
+        ``(nodes, weights)`` pair instead of paying a second parse.
         """
-        nodes, weights = normalize_query(self.graph, query)  # validates now
+        nodes, weights = (
+            normalize_query(self.graph, query) if parsed is None else parsed
+        )
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         request = _Request(
@@ -294,6 +308,17 @@ class MicroBatcher:
         with self._lock:
             return self._closed
 
+    @property
+    def pending(self) -> int:
+        """Queries queued but not yet drained into a solve.
+
+        The gateway's admission control reads this as the per-lane queue
+        depth; it is a point-in-time snapshot (the queue may drain or grow
+        the instant the lock is released).
+        """
+        with self._lock:
+            return len(self._pending)
+
     def __enter__(self) -> "MicroBatcher":
         return self.start()
 
@@ -301,8 +326,15 @@ class MicroBatcher:
         self.close()
 
     def _deadline_loop(self) -> None:
+        # Idle contract (audited): with an empty queue this thread blocks in
+        # the *untimed* ``wait()`` below — no timeout, no periodic wakeup, no
+        # solve.  It consumes zero CPU until a submit notifies the condition;
+        # timed waits happen only while a request is pending (to meet its
+        # deadline).  ``_loop_wakeups`` counts passes through this loop so
+        # tests can assert an idle batcher truly never spins.
         while True:
             with self._lock:
+                self._loop_wakeups += 1
                 while not self._pending and not self._stopping:
                     self._wakeup.wait()
                 if self._stopping:

@@ -27,10 +27,14 @@ instance so that every entry of one cache is mutually consistent.
 
 Eviction and accounting
 -----------------------
-Entries are evicted least-recently-used first.  ``current_bytes`` (the sum
-of ``array.nbytes`` over stored columns) never exceeds ``max_bytes`` — not
-even transiently: room is made *before* a new column is stored.  A column
-larger than the whole budget is computed and returned but never stored.
+Eviction order is pluggable (:mod:`repro.serving.policies`): ``"lru"``
+(default, the historical least-recently-used order) or ``"gdsf"``
+(Greedy-Dual-Size-Frequency — popularity x solve-cost / size with an aging
+clock, the policy a multi-tenant gateway wants under budget pressure).
+``current_bytes`` (the sum of ``array.nbytes`` over stored columns) never
+exceeds ``max_bytes`` — not even transiently: room is made *before* a new
+column is stored.  A column larger than the whole budget is computed and
+returned but never stored.
 
 Stored arrays are marked read-only and returned without copying, so a cache
 hit is bit-exact with the original solve and costs O(1).
@@ -47,8 +51,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import weakref
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -57,6 +61,7 @@ import numpy as np
 from repro.core.frank import DEFAULT_ALPHA
 from repro.engine.batch import frank_batch, trank_batch
 from repro.graph.digraph import DiGraph
+from repro.serving.policies import EvictionPolicy, make_policy
 
 #: Default byte budget (a quarter GiB): ~32k float64 columns on a 1k-node
 #: graph, ~33 columns on a 1M-node graph.
@@ -85,7 +90,13 @@ def graph_token(graph: DiGraph) -> int:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """A snapshot of cache counters (compare with ``functools.lru_cache``)."""
+    """A snapshot of cache counters (compare with ``functools.lru_cache``).
+
+    ``inserts`` / ``inserted_bytes`` / ``evicted_bytes`` track the write side
+    of the cache: how much column traffic flowed *into* the store and how
+    much the eviction policy threw away — exactly the pair a policy tuner
+    (GDSF vs LRU) needs next to the hit rate.
+    """
 
     hits: int
     misses: int
@@ -93,6 +104,9 @@ class CacheInfo:
     entries: int
     current_bytes: int
     max_bytes: int
+    inserts: int = 0
+    inserted_bytes: int = 0
+    evicted_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +136,10 @@ class ColumnCache:
     dtype:
         Storage dtype of cached columns.  ``float32`` halves the footprint at
         ~1e-7 relative error; the default keeps solver-exact ``float64``.
+    policy:
+        Eviction policy: ``"lru"`` (default), ``"gdsf"``, or a fresh
+        :class:`repro.serving.policies.EvictionPolicy` instance (never shared
+        between caches — policies mirror one cache's key set).
     """
 
     def __init__(
@@ -133,6 +151,7 @@ class ColumnCache:
         method: str = "auto",
         dtype=np.float64,
         workers: "int | None" = None,
+        policy: "str | EvictionPolicy" = "lru",
     ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
@@ -143,12 +162,16 @@ class ColumnCache:
         self.method = method
         self.workers = workers
         self.dtype = np.dtype(dtype)
-        self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.policy = make_policy(policy)
+        self._store: "dict[tuple, np.ndarray]" = {}
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._current_bytes = 0
+        self._inserts = 0
+        self._inserted_bytes = 0
+        self._evicted_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -173,11 +196,16 @@ class ColumnCache:
         kind: str,
         nodes: Sequence[int],
         alpha: "float | None" = None,
+        workers: "int | None" = None,
     ) -> "list[np.ndarray]":
         """Columns for several nodes; all misses share one batched solve.
 
         Returns one read-only length-``n`` array per requested node, in
-        request order (duplicates allowed).
+        request order (duplicates allowed).  ``workers`` overrides the
+        cache's worker count for this call's miss solve only (the prefetch
+        path warms big batches with the pool while interactive misses stay
+        sequential); like ``self.workers`` it never affects what a column
+        converges to, only how fast the batch fills.
         """
         alpha = self.alpha if alpha is None else float(alpha)
         with self._lock:
@@ -191,7 +219,7 @@ class ColumnCache:
                 if key in resolved:
                     self._hits += 1
                 elif key in self._store:
-                    self._store.move_to_end(key)
+                    self.policy.record_hit(key)
                     resolved[key] = self._store[key]
                     self._hits += 1
                 elif key not in missing:
@@ -200,10 +228,22 @@ class ColumnCache:
                 else:
                     self._hits += 1  # duplicate miss in one request: solved once
             if missing:
-                solved = self._solve(graph, kind, list(missing.values()), alpha)
+                started = time.perf_counter()
+                solved = self._solve(graph, kind, list(missing.values()), alpha, workers)
+                # Per-column solve cost feeds cost-aware policies (GDSF).
+                cost = (time.perf_counter() - started) / len(missing)
                 for j, key in enumerate(missing):
-                    resolved[key] = self._insert(key, solved[:, j])
+                    resolved[key] = self._insert(key, solved[:, j], cost)
             return [resolved[key] for key in keys]
+
+    def contains(
+        self, graph: DiGraph, kind: str, node: int, alpha: "float | None" = None
+    ) -> bool:
+        """Whether a column is currently stored — no solve, no counter, no
+        recency update (safe for prefetch planners probing the cache)."""
+        alpha = self.alpha if alpha is None else float(alpha)
+        with self._lock:
+            return self._key(graph, kind, node, alpha) in self._store
 
     def warm(
         self,
@@ -211,21 +251,30 @@ class ColumnCache:
         nodes: Sequence[int],
         alpha: "float | None" = None,
         kinds: Sequence[str] = _KINDS,
+        workers: "int | None" = None,
     ) -> None:
         """Precompute (and store) columns for ``nodes`` in batched solves.
 
         One :func:`repro.engine.frank_batch` / :func:`repro.engine.trank_batch`
         call per kind covers every uncached node, so warming ``m`` nodes costs
-        two multi-column solves instead of ``2 m`` single solves.
+        two multi-column solves instead of ``2 m`` single solves.  ``workers``
+        shards those solves across the process pool for this call only.
         """
         for kind in kinds:
-            self.get_many(graph, kind, nodes, alpha)
+            self.get_many(graph, kind, nodes, alpha, workers=workers)
 
     # ------------------------------------------------------------------ #
     # Internals (call with the lock held)
     # ------------------------------------------------------------------ #
 
-    def _solve(self, graph: DiGraph, kind: str, nodes: "list[int]", alpha: float) -> np.ndarray:
+    def _solve(
+        self,
+        graph: DiGraph,
+        kind: str,
+        nodes: "list[int]",
+        alpha: float,
+        workers: "int | None" = None,
+    ) -> np.ndarray:
         solver = frank_batch if kind == "f" else trank_batch
         columns = solver(
             graph,
@@ -234,11 +283,11 @@ class ColumnCache:
             tol=self.tol,
             max_iter=self.max_iter,
             method=self.method,
-            workers=self.workers,
+            workers=self.workers if workers is None else workers,
         )
         return columns if self.dtype == np.float64 else columns.astype(self.dtype)
 
-    def _insert(self, key: tuple, column: np.ndarray) -> np.ndarray:
+    def _insert(self, key: tuple, column: np.ndarray, cost: float = 1.0) -> np.ndarray:
         column = np.ascontiguousarray(column)
         if not column.flags.owndata:
             # A contiguous slice of the solver's output would alias writable
@@ -251,11 +300,16 @@ class ColumnCache:
             # Never storable within budget: hand it to the caller only.
             return column
         while self._current_bytes + column.nbytes > self.max_bytes:
-            _, evicted = self._store.popitem(last=False)
+            victim = self.policy.victim()
+            evicted = self._store.pop(victim)
             self._current_bytes -= evicted.nbytes
             self._evictions += 1
+            self._evicted_bytes += evicted.nbytes
         self._store[key] = column
+        self.policy.record_insert(key, column.nbytes, cost)
         self._current_bytes += column.nbytes
+        self._inserts += 1
+        self._inserted_bytes += column.nbytes
         return column
 
     # ------------------------------------------------------------------ #
@@ -272,12 +326,16 @@ class ColumnCache:
                 entries=len(self._store),
                 current_bytes=self._current_bytes,
                 max_bytes=self.max_bytes,
+                inserts=self._inserts,
+                inserted_bytes=self._inserted_bytes,
+                evicted_bytes=self._evicted_bytes,
             )
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""
         with self._lock:
             self._store.clear()
+            self.policy.reset()
             self._current_bytes = 0
 
     def __len__(self) -> int:
@@ -287,7 +345,7 @@ class ColumnCache:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         info = self.cache_info()
         return (
-            f"ColumnCache(entries={info.entries}, bytes={info.current_bytes}/"
-            f"{info.max_bytes}, hits={info.hits}, misses={info.misses}, "
-            f"evictions={info.evictions})"
+            f"ColumnCache(policy={self.policy.name!r}, entries={info.entries}, "
+            f"bytes={info.current_bytes}/{info.max_bytes}, hits={info.hits}, "
+            f"misses={info.misses}, evictions={info.evictions})"
         )

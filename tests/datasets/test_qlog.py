@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.datasets import QLogConfig, generate_qlog, sample_zipf_queries
+from repro.datasets import (
+    QLogConfig,
+    TenantSpec,
+    generate_qlog,
+    sample_multitenant_queries,
+    sample_zipf_queries,
+)
 from repro.datasets.qlog import STOP_WORDS
 
 
@@ -144,3 +150,106 @@ class TestZipfQueries:
             sample_zipf_queries(10, 0)
         with pytest.raises(ValueError):
             sample_zipf_queries(10, 5, s=0.0)
+
+
+class TestMultiTenantQueries:
+    def _specs(self):
+        return [
+            TenantSpec("alpha", weight=2.0, s=1.2),
+            TenantSpec("beta", weight=1.0, s=0.9),
+            TenantSpec("gamma", weight=0.5, s=1.1, burst_phases=(2,), burst_multiplier=10.0),
+        ]
+
+    def test_shape_and_domains(self):
+        log = sample_multitenant_queries(80, 400, self._specs(), n_phases=4, seed=1)
+        assert len(log) == 400
+        assert log.tenants == ("alpha", "beta", "gamma")
+        assert log.nodes.shape == (400,)
+        assert log.nodes.min() >= 0 and log.nodes.max() < 80
+        assert set(log.tenant_ids.tolist()) <= {0, 1, 2}
+        assert set(log.phases.tolist()) == {0, 1, 2, 3}
+
+    def test_deterministic_per_seed(self):
+        a = sample_multitenant_queries(60, 200, self._specs(), seed=4)
+        b = sample_multitenant_queries(60, 200, self._specs(), seed=4)
+        c = sample_multitenant_queries(60, 200, self._specs(), seed=5)
+        assert np.array_equal(a.nodes, b.nodes)
+        assert np.array_equal(a.tenant_ids, b.tenant_ids)
+        assert not (
+            np.array_equal(a.nodes, c.nodes) and np.array_equal(a.tenant_ids, c.tenant_ids)
+        )
+
+    def test_arrival_shares_follow_weights(self):
+        log = sample_multitenant_queries(
+            100,
+            4000,
+            [TenantSpec("a", weight=3.0), TenantSpec("b", weight=1.0)],
+            n_phases=1,
+            seed=2,
+        )
+        share_a = float((log.tenant_ids == 0).mean())
+        assert 0.70 <= share_a <= 0.80  # expected 0.75
+
+    def test_burst_phase_floods(self):
+        log = sample_multitenant_queries(100, 2000, self._specs(), n_phases=4, seed=3)
+        gamma = log.tenants.index("gamma")
+        burst_ids, _ = log.phase_slice(2)
+        calm_share = float((log.tenant_ids[log.phases != 2] == gamma).mean())
+        burst_share = float((burst_ids == gamma).mean())
+        assert burst_share > 3 * calm_share  # 10x weight >> 3x share lift
+
+    def test_per_tenant_streams_are_zipf_skewed(self):
+        log = sample_multitenant_queries(500, 1500, self._specs(), seed=6)
+        for name in log.tenants:
+            stream = log.for_tenant(name)
+            if stream.size < 100:
+                continue
+            _, counts = np.unique(stream, return_counts=True)
+            assert counts.max() >= 5  # a hot head exists
+            assert np.unique(stream).size < stream.size  # repetition exists
+
+    def test_tenants_have_distinct_hot_heads(self):
+        log = sample_multitenant_queries(1000, 3000, self._specs(), seed=7)
+        heads = []
+        for name in log.tenants:
+            stream = log.for_tenant(name)
+            values, counts = np.unique(stream, return_counts=True)
+            heads.append(set(values[np.argsort(-counts)][:5].tolist()))
+        # Independent permutations over 1000 nodes: top-5 sets overlap rarely.
+        assert len(heads[0] & heads[1] & heads[2]) == 0
+
+    def test_for_tenant_unknown_raises(self):
+        log = sample_multitenant_queries(10, 20, [TenantSpec("only")], seed=1)
+        with pytest.raises(KeyError):
+            log.for_tenant("missing")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_queries=0),
+            dict(n_phases=0),
+            dict(tenants=[]),
+            dict(tenants=[TenantSpec("dup"), TenantSpec("dup")]),
+            dict(tenants=[TenantSpec("t", burst_phases=(9,))]),
+        ],
+    )
+    def test_validation(self, kwargs):
+        args = dict(population=10, n_queries=50, tenants=[TenantSpec("t")], n_phases=2)
+        args.update(kwargs)
+        with pytest.raises(ValueError):
+            sample_multitenant_queries(**args)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(weight=0.0),
+            dict(s=-1.0),
+            dict(burst_multiplier=0.0),
+        ],
+    )
+    def test_spec_validation(self, kwargs):
+        base = dict(name="t")
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            TenantSpec(**base)

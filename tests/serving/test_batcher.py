@@ -54,6 +54,44 @@ class TestDeadlineTrigger:
         assert future.done()
 
 
+class TestIdleBehavior:
+    """Audit of the deadline loop: an idle batcher must sleep, not poll."""
+
+    def test_idle_batcher_performs_zero_solves(self, toy_graph):
+        with MicroBatcher(toy_graph, max_batch=4, max_delay=0.005) as batcher:
+            time.sleep(0.25)  # ~50 deadline periods with nothing queued
+            assert batcher.stats.n_flushes == 0
+            assert batcher.stats.n_submitted == 0
+
+    def test_idle_batcher_never_wakes(self, toy_graph):
+        # The deadline thread parks in an *untimed* condition wait while the
+        # queue is empty: after start it enters the loop exactly once and
+        # must not iterate again, no matter how many max_delay periods pass.
+        with MicroBatcher(toy_graph, max_batch=64, max_delay=0.005) as batcher:
+            time.sleep(0.25)
+            assert batcher._loop_wakeups == 1
+
+    def test_idle_then_submit_still_meets_deadline(self, toy_graph):
+        # Sleeping idle must not cost wakeup latency when work arrives.
+        with MicroBatcher(toy_graph, max_batch=64, max_delay=0.02) as batcher:
+            time.sleep(0.1)  # park the thread in the untimed wait
+            future = batcher.submit(3)
+            result = future.result(timeout=5.0)
+        assert np.allclose(result, roundtriprank(toy_graph, 3), atol=1e-10)
+        assert batcher.stats.n_deadline_flushes >= 1
+
+    def test_wakeups_stay_proportional_to_work(self, toy_graph):
+        # A handful of submits may wake the loop a few times each (notify +
+        # deadline re-checks), but wakeups must track work, not wall time.
+        with MicroBatcher(toy_graph, max_batch=64, max_delay=0.01) as batcher:
+            for q in range(3):
+                batcher.submit(q).result(timeout=5.0)
+            time.sleep(0.2)  # idle tail: no further wakeups may accrue
+            wakeups_after_work = batcher._loop_wakeups
+            time.sleep(0.2)
+            assert batcher._loop_wakeups == wakeups_after_work
+
+
 class TestSingleQueryFallback:
     def test_ask_solves_one_query(self, toy_graph):
         batcher = MicroBatcher(toy_graph)

@@ -1,6 +1,7 @@
 """Tests for the serving-layer column cache."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -157,6 +158,38 @@ class TestWarmAndInfo:
         cache.get(toy_graph, "f", 0)
         assert cache.cache_info().hit_rate == pytest.approx(0.5)
 
+    def test_insert_counters_track_stored_traffic(self, toy_graph):
+        cache = ColumnCache()
+        one = toy_graph.n_nodes * 8
+        cache.get(toy_graph, "f", 0)
+        cache.get(toy_graph, "f", 0)  # hit: no insert
+        cache.get_many(toy_graph, "t", [1, 2])
+        info = cache.cache_info()
+        assert info.inserts == 3
+        assert info.inserted_bytes == 3 * one
+        assert info.evicted_bytes == 0
+
+    def test_eviction_counters_track_evicted_bytes(self, toy_graph):
+        one = toy_graph.n_nodes * 8
+        cache = ColumnCache(max_bytes=2 * one)
+        for node in range(4):
+            cache.get(toy_graph, "f", node)
+        info = cache.cache_info()
+        assert info.evictions == 2
+        assert info.evicted_bytes == 2 * one
+        assert info.inserts == 4
+        assert info.inserted_bytes == 4 * one
+        # Conservation: stored = inserted - evicted (nothing cleared).
+        assert info.current_bytes == info.inserted_bytes - info.evicted_bytes
+
+    def test_oversized_column_counts_no_insert(self, toy_graph):
+        cache = ColumnCache(max_bytes=7)  # smaller than any column
+        cache.get(toy_graph, "f", 0)
+        info = cache.cache_info()
+        assert info.inserts == 0
+        assert info.inserted_bytes == 0
+        assert info.entries == 0
+
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):
             ColumnCache(max_bytes=0)
@@ -186,3 +219,64 @@ class TestThreadSafety:
         assert not errors
         info = cache.cache_info()
         assert info.hits + info.misses == 4 * 40
+
+    @pytest.mark.parametrize("policy", ["lru", "gdsf"])
+    def test_concurrent_get_warm_clear(self, toy_graph, policy):
+        """get / warm / clear racing from several threads: every returned
+        column is correct, counters stay conserved, budget holds."""
+        one = toy_graph.n_nodes * 8
+        cache = ColumnCache(max_bytes=5 * one, policy=policy)
+        expected = {
+            node: frank_batch(toy_graph, [node], cache.alpha)[:, 0]
+            for node in range(toy_graph.n_nodes)
+        }
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def getter(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for node in rng.integers(0, toy_graph.n_nodes, size=60).tolist():
+                    column = cache.get(toy_graph, "f", int(node))
+                    if not np.allclose(column, expected[int(node)], atol=1e-9):
+                        errors.append(("value", node))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def warmer(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for _ in range(12):
+                    nodes = rng.integers(0, toy_graph.n_nodes, size=4).tolist()
+                    cache.warm(toy_graph, [int(v) for v in nodes], kinds=("f",))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def clearer():
+            barrier.wait()
+            try:
+                for _ in range(8):
+                    cache.clear()
+                    time.sleep(0.001)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = (
+            [threading.Thread(target=getter, args=(s,)) for s in range(3)]
+            + [threading.Thread(target=warmer, args=(s,)) for s in (7, 8)]
+            + [threading.Thread(target=clearer)]
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = cache.cache_info()
+        assert info.current_bytes <= info.max_bytes
+        # Accounting survived the races: stored bytes equal the per-entry sum
+        # and the policy tracks exactly the stored key set.
+        assert info.current_bytes == sum(c.nbytes for c in cache._store.values())
+        assert len(cache.policy) == info.entries
+        assert info.inserted_bytes >= info.evicted_bytes + info.current_bytes

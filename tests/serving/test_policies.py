@@ -1,0 +1,205 @@
+"""Tests for the pluggable cache-eviction policies (LRU, GDSF)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ColumnCache,
+    GDSFPolicy,
+    LRUPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+class TestPolicyResolution:
+    def test_names_resolve(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("gdsf"), GDSFPolicy)
+
+    def test_instance_passes_through(self):
+        policy = GDSFPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            make_policy("mru")
+
+    def test_sharing_one_instance_between_caches_fails_fast(self):
+        # A policy mirrors exactly one cache's key set; silently sharing it
+        # would let victim() hand one cache the other's keys (KeyError on a
+        # plain get much later).  Fail at construction instead.
+        policy = GDSFPolicy()
+        ColumnCache(policy=policy)
+        with pytest.raises(ValueError, match="already attached"):
+            ColumnCache(policy=policy)
+
+    def test_available_policies(self):
+        assert available_policies() == ["gdsf", "lru"]
+
+    def test_cache_accepts_policy_argument(self, toy_graph):
+        cache = ColumnCache(policy="gdsf")
+        assert cache.policy.name == "gdsf"
+        column = cache.get(toy_graph, "f", 0)
+        assert column.shape == (toy_graph.n_nodes,)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recently_touched(self):
+        policy = LRUPolicy()
+        policy.record_insert(("a",), 8, 1.0)
+        policy.record_insert(("b",), 8, 1.0)
+        policy.record_hit(("a",))  # b is now coldest
+        assert policy.victim() == ("b",)
+        assert policy.victim() == ("a",)
+
+    def test_remove_and_reset(self):
+        policy = LRUPolicy()
+        policy.record_insert(("a",), 8, 1.0)
+        policy.record_insert(("b",), 8, 1.0)
+        policy.record_remove(("a",))
+        assert len(policy) == 1
+        policy.reset()
+        assert len(policy) == 0
+
+
+class TestGDSFPolicy:
+    def test_frequency_beats_recency(self):
+        # Under LRU, "hot" (touched before "cold") would be the victim.
+        # GDSF keeps the frequently-hit entry.
+        policy = GDSFPolicy()
+        policy.record_insert(("hot",), 8, 1.0)
+        for _ in range(5):
+            policy.record_hit(("hot",))
+        policy.record_insert(("cold",), 8, 1.0)
+        assert policy.victim() == ("cold",)
+
+    def test_size_matters_small_entries_survive(self):
+        # Equal frequency and cost: the big entry has lower cost density.
+        policy = GDSFPolicy()
+        policy.record_insert(("big",), 1024, 1.0)
+        policy.record_insert(("small",), 8, 1.0)
+        assert policy.victim() == ("big",)
+
+    def test_cost_matters_expensive_entries_survive(self):
+        policy = GDSFPolicy()
+        policy.record_insert(("cheap",), 8, 0.001)
+        policy.record_insert(("dear",), 8, 1.0)
+        assert policy.victim() == ("cheap",)
+
+    def test_aging_clock_lets_fresh_entries_overtake_stale_hot_ones(self):
+        policy = GDSFPolicy()
+        policy.record_insert(("stale-hot",), 8, 1.0)
+        for _ in range(3):
+            policy.record_hit(("stale-hot",))  # priority 4 * cost/size
+        # Evict enough one-hit entries to raise the clock past it.
+        for i in range(10):
+            policy.record_insert((f"filler{i}",), 8, 1.0)
+            victim = policy.victim()
+            assert victim != ("stale-hot",) or i > 0
+            if victim == ("stale-hot",):
+                return  # the clock overtook the stale entry: exactly the point
+        pytest.fail("aging clock never overtook the stale hot entry")
+
+    def test_remove_is_lazy_but_correct(self):
+        policy = GDSFPolicy()
+        policy.record_insert(("a",), 8, 1.0)
+        policy.record_insert(("b",), 8, 1.0)
+        policy.record_hit(("b",))
+        policy.record_remove(("a",))  # stale heap records must be skipped
+        assert policy.victim() == ("b",)
+        assert len(policy) == 0
+
+    def test_hit_heavy_workload_does_not_grow_heap_unbounded(self):
+        # Without compaction every hit leaves a stale heap record forever —
+        # a no-eviction hot-head workload would leak one tuple per hit.
+        policy = GDSFPolicy()
+        policy.record_insert(("hot",), 8, 1.0)
+        for _ in range(10_000):
+            policy.record_hit(("hot",))
+        assert len(policy._heap) <= GDSFPolicy._COMPACT_MIN + 1
+        assert policy.victim() == ("hot",)  # compaction preserved correctness
+
+    def test_compaction_preserves_eviction_order(self):
+        policy = GDSFPolicy()
+        for i in range(8):
+            policy.record_insert((f"k{i}",), 8, 1.0)
+        for _ in range(3):
+            policy.record_hit(("k5",))
+        policy._compact()
+        victims = [policy.victim() for _ in range(8)]
+        assert victims[-1] == ("k5",)  # the only multi-hit entry outlives all
+
+    def test_frequency_introspection(self):
+        policy = GDSFPolicy()
+        policy.record_insert(("a",), 8, 1.0)
+        policy.record_hit(("a",))
+        policy.record_hit(("a",))
+        assert policy.frequency(("a",)) == 3
+        assert policy.frequency(("missing",)) == 0
+
+
+class TestGDSFInCache:
+    def _one(self, graph):
+        return graph.n_nodes * 8
+
+    def test_popular_column_survives_where_lru_evicts_it(self, toy_graph):
+        one = self._one(toy_graph)
+
+        def churn(cache):
+            cache.get(toy_graph, "f", 0)
+            for _ in range(5):
+                cache.get(toy_graph, "f", 0)  # node 0 is hot
+            # Scan: a parade of one-hit nodes under a 2-column budget.
+            for node in (1, 2, 3, 4, 5):
+                cache.get(toy_graph, "f", node)
+            return cache.contains(toy_graph, "f", 0)
+
+        assert churn(ColumnCache(max_bytes=2 * one, policy="gdsf")) is True
+        assert churn(ColumnCache(max_bytes=2 * one, policy="lru")) is False
+
+    def test_gdsf_beats_lru_hit_rate_on_zipf_stream(self, toy_graph):
+        from repro.datasets import sample_zipf_queries
+
+        stream = sample_zipf_queries(toy_graph.n_nodes, 300, s=1.2, seed=5)
+        one = self._one(toy_graph)
+
+        def hit_rate(policy):
+            cache = ColumnCache(max_bytes=3 * one, policy=policy)
+            for q in stream.tolist():
+                cache.get(toy_graph, "f", int(q))
+            return cache.cache_info().hit_rate
+
+        assert hit_rate("gdsf") >= hit_rate("lru")
+
+    def test_byte_budget_respected_under_gdsf(self, toy_graph):
+        one = self._one(toy_graph)
+        cache = ColumnCache(max_bytes=3 * one + 1, policy="gdsf")
+        rng = np.random.default_rng(7)
+        for node in rng.integers(0, toy_graph.n_nodes, size=80).tolist():
+            cache.get(toy_graph, "f" if node % 2 else "t", int(node))
+            info = cache.cache_info()
+            assert info.current_bytes <= info.max_bytes
+        assert cache.cache_info().evictions > 0
+
+    def test_clear_resets_policy_state(self, toy_graph):
+        one = self._one(toy_graph)
+        cache = ColumnCache(max_bytes=2 * one, policy="gdsf")
+        cache.get(toy_graph, "f", 0)
+        cache.get(toy_graph, "f", 1)
+        cache.clear()
+        assert len(cache.policy) == 0
+        # The cache refills cleanly after a clear.
+        cache.get(toy_graph, "f", 2)
+        cache.get(toy_graph, "f", 3)
+        cache.get(toy_graph, "f", 4)
+        info = cache.cache_info()
+        assert info.entries == 2
+        assert info.current_bytes <= info.max_bytes
+
+    def test_hits_match_store_under_both_policies(self, toy_graph):
+        for policy in ("lru", "gdsf"):
+            cache = ColumnCache(policy=policy)
+            a = cache.get(toy_graph, "f", 3)
+            b = cache.get(toy_graph, "f", 3)
+            assert a is b, policy
