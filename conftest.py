@@ -1,0 +1,8 @@
+"""Rootdir conftest: loads the concurrency-sanitizer pytest plugin.
+
+``pytest_plugins`` must live in the rootdir conftest (pytest rejects it
+anywhere deeper).  The plugin is inert unless ``REPRO_SANITIZE=1`` — see
+:mod:`repro.analysis.pytest_plugin`.
+"""
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

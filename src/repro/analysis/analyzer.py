@@ -1,0 +1,155 @@
+"""Parse modules once, run every rule, filter suppressions.
+
+:func:`analyze_source` is the core entry point: one parse, one
+:class:`ModuleContext` shared by every rule (with a lazily built parent map
+so rules can walk *up* the tree — "is this ``wait()`` inside a ``while``
+loop" questions), findings filtered through the per-line
+``# repro: ignore[rule]`` table and returned sorted by location.
+
+A file that does not parse yields a single ``parse-error`` pseudo-finding
+instead of crashing the run: an unparseable file in ``src`` must fail the
+CI gate, not dodge it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.suppressions import is_suppressed, suppressed_rules
+
+#: rule name reserved for files the parser rejects (not suppressible by a
+#: registered rule since the suppression table itself needs a parseable
+#: line, but a bare ``# repro: ignore`` on the offending line still works).
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus the shared lookups rules need."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    _parents: "dict[ast.AST, ast.AST]" = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> "Iterator[ast.AST]":
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def functions(self) -> "Iterator[ast.FunctionDef | ast.AsyncFunctionDef]":
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> "Iterator[ast.ClassDef]":
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def walk_scope(node: ast.AST) -> "Iterator[ast.AST]":
+    """Walk ``node``'s subtree without descending into nested scopes.
+
+    A ``yield`` or lock acquisition inside a nested ``def``/``lambda``/
+    ``class`` body executes in *that* scope, not the enclosing one, so
+    scope-sensitive rules must not attribute it to the outer function.
+    The root node itself is not yielded.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def analyze_source(
+    source: str, path: str = "<string>", rules: "Sequence[Rule] | None" = None
+) -> "list[Finding]":
+    """Run ``rules`` (default: all registered) over one module's source."""
+    if rules is None:
+        rules = all_rules()
+    table = suppressed_rules(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {exc.msg}",
+        )
+        if is_suppressed(table, finding.line, finding.rule):
+            return []
+        return [finding]
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    findings: "list[Finding]" = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not is_suppressed(table, finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_file(path: str, rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, path=path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> "Iterator[str]":
+    """Expand files and directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[str], rules: "Sequence[Rule] | None" = None
+) -> "tuple[list[Finding], int]":
+    """Analyze every ``.py`` file under ``paths``; ``(findings, n_files)``."""
+    if rules is None:
+        rules = all_rules()
+    findings: "list[Finding]" = []
+    n_files = 0
+    for filepath in iter_python_files(paths):
+        n_files += 1
+        findings.extend(analyze_file(filepath, rules=rules))
+    return sorted(findings), n_files

@@ -1,0 +1,131 @@
+"""``python -m repro.analysis`` — the static analyzer's command line.
+
+Exit codes follow the convention CI keys off:
+
+- ``0`` — analyzed cleanly, no findings;
+- ``1`` — findings reported (or a file failed to parse);
+- ``2`` — usage error (unknown rule in ``--select``, no such path).
+
+``--format json`` emits a single object with the run summary and the
+findings list so the CI job (and editors) can consume reports without
+scraping text.  Unknown rule names inside ``# repro: ignore[...]``
+comments are warnings, not errors: a stale suppression should surface in
+review, not brick the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.analysis.analyzer import analyze_paths, iter_python_files
+from repro.analysis.registry import all_rules, get_rule, rule_names
+from repro.analysis.suppressions import suppressed_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analyzer for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable); default: all registered rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (name, summary, lineage) and exit",
+    )
+    return parser
+
+
+def _list_rules(stream) -> None:
+    for rule in all_rules():
+        print(f"{rule.name}", file=stream)
+        print(f"    {rule.summary}", file=stream)
+        print(f"    lineage: {rule.lineage}", file=stream)
+
+
+def _warn_unknown_suppressions(paths: Sequence[str], stream) -> None:
+    known = set(rule_names())
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        for lineno, entry in sorted(suppressed_rules(source).items()):
+            if entry is None:
+                continue
+            for name in sorted(entry - known):
+                print(
+                    f"{filepath}:{lineno}: warning: suppression names "
+                    f"unknown rule {name!r}",
+                    file=stream,
+                )
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+
+    if args.select:
+        try:
+            rules = [get_rule(name) for name in args.select]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = all_rules()
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    findings, n_files = analyze_paths(args.paths, rules=rules)
+    _warn_unknown_suppressions(args.paths, sys.stderr)
+
+    if args.format == "json":
+        report = {
+            "files": n_files,
+            "rules": [rule.name for rule in rules],
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "file" if n_files == 1 else "files"
+        if findings:
+            print(f"{len(findings)} finding(s) in {n_files} {noun}")
+        else:
+            print(f"clean: {n_files} {noun}, {len(rules)} rule(s)")
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

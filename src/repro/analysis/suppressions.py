@@ -1,0 +1,84 @@
+"""Per-line ``# repro: ignore[rule]`` suppression comments.
+
+A finding is suppressed when the physical line it is reported on carries a
+suppression comment naming its rule — or a bare ``# repro: ignore`` that
+waives every rule for that line.  Suppressions are per-line on purpose: a
+waiver should sit next to the code it excuses, with the justification in the
+same comment, the way the tree's ``# noqa`` comments already work.
+
+Syntax (anywhere in the line, usually after code)::
+
+    self._rng = np.random.default_rng()  # repro: ignore[np-random-legacy] plumbing
+    risky_call()  # repro: ignore  (waives all rules on this line)
+    paired()  # repro: ignore[rule-a, rule-b]
+
+Unknown rule names in a suppression are tolerated — a suppression must keep
+suppressing after its rule is renamed out from under it rather than turn
+into a hard error, and :mod:`repro.analysis.cli` warns about names it does
+not recognize instead.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+def _comment_tokens(source: str) -> "list[tuple[int, str]]":
+    """``(lineno, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    syntax quoted inside strings and docstrings — like the examples in this
+    module's own docstring — from being treated as live waivers.  A file
+    the tokenizer rejects falls back to a plain line scan so that a bare
+    ``# repro: ignore`` can still waive a ``parse-error`` finding.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (lineno, line)
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+
+
+def suppressed_rules(source: str) -> "dict[int, frozenset[str] | None]":
+    """Map 1-based line numbers to the rules suppressed on that line.
+
+    ``None`` means every rule is suppressed (a bare ``# repro: ignore``);
+    otherwise the value is the set of rule names listed in brackets.
+    """
+    table: "dict[int, frozenset[str] | None]" = {}
+    for lineno, text in _comment_tokens(source):
+        if "repro:" not in text:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            names = frozenset(name.strip() for name in rules.split(",") if name.strip())
+            # An empty bracket list suppresses nothing — treat "ignore[]" as
+            # a typo'd bare ignore rather than silently waiving everything.
+            table[lineno] = names if names else frozenset()
+    return table
+
+
+def is_suppressed(
+    table: "dict[int, frozenset[str] | None]", line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is waived on ``line`` by the parsed suppressions."""
+    entry = table.get(line, frozenset())
+    if entry is None:
+        return True
+    return rule in entry

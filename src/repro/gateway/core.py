@@ -261,7 +261,14 @@ class RankGateway:
                     self.stats.record_shed(tenant, shed.reason)
                     return shed
                 started = self._clock()
-                future = lane.batcher.submit(query, k=k, parsed=(nodes, weights))
+                # Submitting under the admission lock is the hard depth
+                # bound: admission-check and enqueue must be atomic or two
+                # racing callers can both pass the check and overfill the
+                # lane.  MicroBatcher.submit only appends to a deque under
+                # its own leaf lock — it never blocks on batch completion.
+                future = lane.batcher.submit(  # repro: ignore[lock-across-blocking]
+                    query, k=k, parsed=(nodes, weights)
+                )
             break
 
         self.stats.record_admitted(tenant)

@@ -280,6 +280,23 @@ def shared_operator(graph: DiGraph, transpose: bool) -> CSRHandle:
     return shared.handle
 
 
+def published_segment_names() -> "set[str]":
+    """Names of every segment the publish cache currently owns.
+
+    Diagnostic: the sanitizer's per-module leak check subtracts these from
+    :func:`repro.parallel.shm.live_segment_names` — cached publications
+    legitimately outlive a test module (they are finalized with their
+    graph), while any other live segment is a leak.
+    """
+    with _publish_lock:
+        return {
+            name
+            for per_graph in _published.values()
+            for shared in per_graph.values()
+            for name in shared.segment_names()
+        }
+
+
 def _destroy_published() -> None:
     with _publish_lock:
         shared = [s for per_graph in _published.values() for s in per_graph.values()]

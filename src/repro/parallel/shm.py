@@ -42,6 +42,8 @@ from multiprocessing import shared_memory
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.sanitizer import publish_guard
+
 _counter = itertools.count()
 _name_lock = threading.Lock()
 
@@ -107,6 +109,7 @@ def _attach_array(spec: ArraySpec) -> "tuple[np.ndarray, shared_memory.SharedMem
     shm = shared_memory.SharedMemory(name=spec.name)
     array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
     array.setflags(write=False)
+    publish_guard(array, f"shm[{spec.name}]")
     return array, shm
 
 
@@ -179,6 +182,10 @@ class SharedCSR:
             except FileNotFoundError:  # already unlinked by a racing finalizer
                 pass
         self._segments = []
+
+    def segment_names(self) -> "list[str]":
+        """Names of the still-owned segments (empty once destroyed)."""
+        return [shm.name for shm in self._segments]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "destroyed" if self._destroyed else "live"

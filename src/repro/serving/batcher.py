@@ -379,7 +379,7 @@ class MicroBatcher:
                 else:
                     result = topk_select(scores[:, j], request.k)
                 request.future.set_result(result)
-        except BaseException as exc:  # delivered through every future
+        except BaseException as exc:  # noqa: B036 - delivered through every future
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)

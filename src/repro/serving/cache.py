@@ -58,6 +58,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import publish_guard
 from repro.core.frank import DEFAULT_ALPHA
 from repro.engine.batch import frank_batch, trank_batch
 from repro.graph.digraph import DiGraph
@@ -296,6 +297,7 @@ class ColumnCache:
             # own their bytes so read-only truly means immutable.
             column = column.copy()
         column.setflags(write=False)
+        publish_guard(column, f"ColumnCache[{key!r}]")
         if column.nbytes > self.max_bytes:
             # Never storable within budget: hand it to the caller only.
             return column

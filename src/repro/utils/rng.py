@@ -20,7 +20,10 @@ def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
     - an existing generator is passed through unchanged.
     """
     if seed is None:
-        return np.random.default_rng()
+        # The one sanctioned OS-entropy escape hatch: ensure_rng(None) is
+        # the documented "I explicitly don't want reproducibility" spelling
+        # every other module is required to route through.
+        return np.random.default_rng()  # repro: ignore[np-random-legacy]
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, numbers.Integral):

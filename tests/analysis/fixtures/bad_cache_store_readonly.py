@@ -1,0 +1,13 @@
+"""Known-bad: a writable array is stored into a cache's ``_store``."""
+
+import numpy as np
+
+
+class Cache:
+    def __init__(self):
+        self._store = {}
+
+    def insert(self, key, column):
+        column = np.ascontiguousarray(column)
+        self._store[key] = column
+        return column

@@ -1,0 +1,16 @@
+"""Known-bad: an executor submit happens while a lock is held."""
+
+import threading
+
+
+class Coordinator:
+    def __init__(self, executor):
+        self._lock = threading.Lock()
+        self._executor = executor
+        self._pending = 0
+
+    def run(self, task):
+        with self._lock:
+            self._pending += 1
+            future = self._executor.submit(task)
+        return future

@@ -1,0 +1,17 @@
+"""Known-bad: a method re-enters its own non-reentrant lock via a sibling."""
+
+import threading
+
+
+class Operator:
+    def __init__(self, matrix):
+        self._lock = threading.Lock()
+        self._matrix = matrix
+
+    def matrix(self):
+        with self._lock:
+            return self._matrix
+
+    def damped(self, alpha):
+        with self._lock:
+            return alpha * self.matrix()

@@ -1,0 +1,12 @@
+"""Known-bad: hidden-global numpy randomness and an unseeded generator."""
+
+import numpy as np
+
+
+def jitter(values):
+    noise = np.random.normal(scale=0.1, size=len(values))
+    return values + noise
+
+
+def fresh_rng():
+    return np.random.default_rng()

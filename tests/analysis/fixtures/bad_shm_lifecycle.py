@@ -1,0 +1,9 @@
+"""Known-bad: a SharedMemory segment is created and never reclaimed."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name

@@ -1,0 +1,11 @@
+"""Known-bad: a view over a SharedMemory buffer escapes writable."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def attach(name, shape):
+    shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    shm.close()
+    return array

@@ -1,0 +1,17 @@
+"""Known-bad: a non-daemon worker thread that nothing ever joins."""
+
+import threading
+
+
+class Poller:
+    def __init__(self):
+        self._halt = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._halt.wait(0.1):
+            pass

@@ -1,0 +1,14 @@
+"""Known-good: the column is frozen before it enters the store."""
+
+import numpy as np
+
+
+class Cache:
+    def __init__(self):
+        self._store = {}
+
+    def insert(self, key, column):
+        column = np.ascontiguousarray(column)
+        column.setflags(write=False)
+        self._store[key] = column
+        return column

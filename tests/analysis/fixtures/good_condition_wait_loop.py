@@ -1,0 +1,16 @@
+"""Known-good: the wait re-checks its predicate in a while loop."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._ready = threading.Condition(self._mutex)
+        self._items = []
+
+    def take(self):
+        with self._ready:
+            while not self._items:
+                self._ready.wait(timeout=1.0)
+            return self._items.pop()

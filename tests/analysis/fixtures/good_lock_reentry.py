@@ -1,0 +1,17 @@
+"""Known-good: the sibling call happens outside the shared lock."""
+
+import threading
+
+
+class Operator:
+    def __init__(self, matrix):
+        self._lock = threading.Lock()
+        self._matrix = matrix
+
+    def matrix(self):
+        with self._lock:
+            return self._matrix
+
+    def damped(self, alpha):
+        base = self.matrix()
+        return alpha * base

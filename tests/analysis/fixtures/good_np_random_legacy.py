@@ -1,0 +1,12 @@
+"""Known-good: randomness flows through explicit, seedable generators."""
+
+import numpy as np
+
+
+def jitter(values, rng):
+    noise = rng.normal(scale=0.1, size=len(values))
+    return values + noise
+
+
+def fresh_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,14 @@
+"""Known-good: the module that creates segments also closes and unlinks."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment
+
+
+def destroy(segment):
+    segment.close()
+    segment.unlink()

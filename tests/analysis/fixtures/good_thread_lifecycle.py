@@ -1,0 +1,23 @@
+"""Known-good: daemonized worker, joined by the owner's stop()."""
+
+import threading
+
+
+class Poller:
+    def __init__(self):
+        self._halt = threading.Event()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self):
+        while not self._halt.wait(0.1):
+            pass

@@ -1,0 +1,14 @@
+"""The merged tree must satisfy its own analyzer — the CI gate, as a test."""
+
+import pathlib
+
+from repro.analysis import analyze_paths
+
+SRC = pathlib.Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_tree_is_clean():
+    findings, n_files = analyze_paths([str(SRC)])
+    assert n_files > 50, "analyzer saw suspiciously few files — wrong path?"
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert not findings, f"analyzer findings on src:\n{rendered}"

@@ -1,0 +1,97 @@
+"""The ``python -m repro.analysis`` command line: exit codes and formats."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_path_exits_zero(self, capsys):
+        code = main([str(FIXTURES / "good_lock_reentry.py")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_findings_exit_one(self, capsys):
+        code = main([str(FIXTURES / "bad_lock_reentry.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "lock-reentry" in out
+
+    def test_unknown_select_exits_two(self, capsys):
+        code = main(["--select", "no-such-rule", str(FIXTURES)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no-such-rule" in err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["definitely/not/a/path"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no such path" in err
+
+
+class TestOutput:
+    def test_json_report_shape(self, capsys):
+        code = main(["--format", "json", str(FIXTURES / "bad_np_random_legacy.py")])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["files"] == 1
+        assert "np-random-legacy" in report["rules"]
+        assert all(
+            set(finding) == {"path", "line", "col", "rule", "message"}
+            for finding in report["findings"]
+        )
+        assert {f["rule"] for f in report["findings"]} == {"np-random-legacy"}
+
+    def test_text_findings_are_path_line_col(self, capsys):
+        main([str(FIXTURES / "bad_np_random_legacy.py")])
+        lines = capsys.readouterr().out.splitlines()
+        finding_lines = [line for line in lines if "np-random-legacy" in line]
+        assert finding_lines
+        for line in finding_lines:
+            path, lineno, col, _rest = line.split(":", 3)
+            assert path.endswith("bad_np_random_legacy.py")
+            assert lineno.isdigit() and col.isdigit()
+
+    def test_list_rules_prints_catalog(self, capsys):
+        code = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lock-reentry" in out
+        assert "lineage:" in out
+
+    def test_select_runs_only_that_rule(self, capsys):
+        # The bad thread fixture fires thread-lifecycle; selecting an
+        # unrelated rule must report it clean.
+        code = main(["--select", "np-random-legacy", str(FIXTURES / "bad_thread_lifecycle.py")])
+        assert code == 0
+
+    def test_unknown_suppression_name_warns(self, tmp_path, capsys):
+        target = tmp_path / "module.py"
+        target.write_text("x = 1  # repro: ignore[not-a-rule]\n", encoding="utf-8")
+        code = main([str(target)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "unknown rule 'not-a-rule'" in captured.err
+
+
+class TestModuleEntryPoint:
+    @pytest.mark.parametrize(
+        "target, expected",
+        [("good_shm_lifecycle.py", 0), ("bad_shm_lifecycle.py", 1)],
+    )
+    def test_python_dash_m_exit_codes(self, target, expected):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(FIXTURES / target)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == expected, result.stderr

@@ -1,0 +1,56 @@
+"""Suppression-comment parsing: comments count, strings don't."""
+
+import textwrap
+
+from repro.analysis.suppressions import is_suppressed, suppressed_rules
+
+
+class TestParsing:
+    def test_bare_ignore_waives_everything(self):
+        table = suppressed_rules("x = 1  # repro: ignore\n")
+        assert table[1] is None
+        assert is_suppressed(table, 1, "any-rule")
+
+    def test_bracketed_names_waive_only_those(self):
+        table = suppressed_rules("x = 1  # repro: ignore[rule-a, rule-b]\n")
+        assert table[1] == frozenset({"rule-a", "rule-b"})
+        assert is_suppressed(table, 1, "rule-a")
+        assert is_suppressed(table, 1, "rule-b")
+        assert not is_suppressed(table, 1, "rule-c")
+
+    def test_empty_brackets_waive_nothing(self):
+        table = suppressed_rules("x = 1  # repro: ignore[]\n")
+        assert table[1] == frozenset()
+        assert not is_suppressed(table, 1, "rule-a")
+
+    def test_trailing_justification_text_is_fine(self):
+        table = suppressed_rules("x = f()  # repro: ignore[rule-a] sanctioned\n")
+        assert is_suppressed(table, 1, "rule-a")
+
+    def test_unsuppressed_lines_suppress_nothing(self):
+        table = suppressed_rules("x = 1\ny = 2  # plain comment\n")
+        assert not is_suppressed(table, 1, "rule-a")
+        assert not is_suppressed(table, 2, "rule-a")
+
+
+class TestStringImmunity:
+    def test_docstring_examples_are_not_live_suppressions(self):
+        source = textwrap.dedent(
+            '''
+            def helper():
+                """Write waivers as ``x  # repro: ignore[rule-a]``."""
+                return 1
+            '''
+        )
+        assert suppressed_rules(source) == {}
+
+    def test_string_literal_is_not_a_suppression(self):
+        source = 'message = "# repro: ignore[rule-a]"\n'
+        assert suppressed_rules(source) == {}
+
+    def test_unparseable_source_falls_back_to_line_scan(self):
+        # A bare ignore on a broken line must still be able to waive the
+        # parse-error finding.
+        source = "def broken(:  # repro: ignore\n"
+        table = suppressed_rules(source)
+        assert is_suppressed(table, 1, "parse-error")
