@@ -35,6 +35,8 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, NamedTuple, Union
 
+import numpy as np
+
 from repro.core.frank import DEFAULT_ALPHA
 from repro.core.queries import Query, normalize_query
 from repro.core.roundtrip_plus import DEFAULT_BETA
@@ -85,6 +87,18 @@ class RankGateway:
         Per-lane :class:`MicroBatcher` trigger configuration.
     beta:
         The ``roundtriprank_plus`` interpolation used by plus-measure lanes.
+    local_topk:
+        Enable the certified local-push fast path for top-``k`` cache
+        misses (:func:`repro.topk.local.local_topk`).  An eligible query —
+        ``k`` given, float64 cache — skips the micro-batcher entirely: it
+        is solved inline after admission (queue depth 0 — nothing is ever
+        enqueued), returning an already-resolved future.  Certified results
+        carry unnormalized lower-estimate scores with the oracle's exact
+        set and ranking and *never* write partial columns into the cache;
+        escalated queries solve their full columns through the shared cache
+        (warming it exactly like a batcher miss) and match the batcher path
+        bit-for-bit.  Cached columns feed the push as zero-error states, so
+        a warm cache makes the fast path cheaper, not divergent.
     clock:
         Injectable monotonic clock shared by admission and stats (tests).
 
@@ -103,6 +117,7 @@ class RankGateway:
         max_batch: int = 32,
         max_delay: float = 0.01,
         beta: float = DEFAULT_BETA,
+        local_topk: bool = False,
         frequency_half_life: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -122,6 +137,7 @@ class RankGateway:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.beta = float(beta)
+        self.local_topk = bool(local_topk)
         self.stats = GatewayStats()
         self.frequency = FrequencyEstimator(half_life=frequency_half_life, clock=clock)
         self._clock = clock
@@ -243,6 +259,16 @@ class RankGateway:
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
 
+        # Certified local fast path: only top-k requests (full vectors need
+        # full columns anyway) and only against a float64 cache (probed
+        # columns enter certification as zero-error states, which a lossy
+        # dtype cannot honor).
+        if self.local_topk and k is not None and self.cache.dtype == np.float64:
+            return self._submit_local(
+                query, tenant, graph_obj, key, measure, float(alpha), k,
+                nodes, weights,
+            )
+
         while True:
             lane, evicted = self._lane(key)
             if lane is None:  # gateway closed
@@ -280,6 +306,80 @@ class RankGateway:
             self.stats.record_latency(lane_key, clock() - t0)
 
         future.add_done_callback(_record)
+        return future
+
+    def _submit_local(
+        self,
+        query: Query,
+        tenant: str,
+        graph_obj: DiGraph,
+        key: LaneKey,
+        measure: str,
+        alpha: float,
+        k: int,
+        nodes,
+        weights,
+    ) -> "Union[Future, Shed]":
+        """Inline certified local top-k: admit, solve, resolve — no queue.
+
+        Admission sees queue depth 0 (nothing is enqueued), so only the
+        rate limit can shed.  The cache participates twice, read-only on
+        the happy path: already-exact columns join the push as zero-error
+        states via ``column_probe``, and an escalation solves its full
+        columns *through* ``cache.get_many`` — bit-identical arithmetic to
+        :meth:`MicroBatcher._score_columns_cached`, and the columns it
+        stores are complete, so a partial push result can never poison the
+        cache.
+        """
+        from repro.topk.local import local_topk as _local_topk
+
+        if self._closed:
+            shed = Shed(reason="closed", tenant=tenant, lane=tuple(key))
+            self.stats.record_shed(tenant, shed.reason)
+            return shed
+        shed = self.admission.admit(tenant, tuple(key), 0)
+        if shed is not None:
+            self.stats.record_shed(tenant, shed.reason)
+            return shed
+        started = self._clock()
+        self.stats.record_admitted(tenant)
+        graph_name = key.graph
+        for node, weight in zip(nodes.tolist(), weights.tolist()):
+            self.frequency.record(tenant, (graph_name, alpha), node, weight)
+        cache = self.cache
+
+        def probe(kind: str, node: int) -> "np.ndarray | None":
+            # contains() is counter-free; a column evicted between the
+            # probe and the get would simply be re-solved (correct, just
+            # not free), so the race is benign.
+            if cache.contains(graph_obj, kind, node, alpha):
+                return cache.get(graph_obj, kind, node, alpha)
+            return None
+
+        def solve_columns(kind: str, node_list: "list[int]") -> np.ndarray:
+            return np.stack(
+                cache.get_many(graph_obj, kind, node_list, alpha), axis=1
+            )
+
+        future: Future = Future()
+        try:
+            result = _local_topk(
+                graph_obj,
+                query,
+                k,
+                alpha,
+                measure=measure,
+                beta=self.beta,
+                solve_columns=solve_columns,
+                column_probe=probe,
+            )
+        except BaseException as exc:  # noqa: B036 - delivered through the future
+            self.stats.record_latency(tuple(key), self._clock() - started)
+            future.set_exception(exc)
+            return future
+        self.stats.record_local(escalated=result.escalated)
+        self.stats.record_latency(tuple(key), self._clock() - started)
+        future.set_result((result.indices, result.scores))
         return future
 
     def ask(self, query: Query, **kwargs):

@@ -43,6 +43,8 @@ class GatewaySnapshot:
     shed_by_tenant: "dict[str, int]" = field(default_factory=dict)
     n_prefetch_runs: int = 0
     n_prefetched_columns: int = 0
+    n_local_certified: int = 0
+    n_local_escalated: int = 0
     lanes: "dict[tuple, LaneStats]" = field(default_factory=dict)
 
     @property
@@ -61,6 +63,8 @@ class GatewaySnapshot:
             "shed_by_tenant": dict(self.shed_by_tenant),
             "n_prefetch_runs": self.n_prefetch_runs,
             "n_prefetched_columns": self.n_prefetched_columns,
+            "n_local_certified": self.n_local_certified,
+            "n_local_escalated": self.n_local_escalated,
             "lanes": {
                 "/".join(str(part) for part in lane): {
                     "count": s.count,
@@ -88,6 +92,8 @@ class GatewayStats:
         self._shed_by_tenant: Counter = Counter()
         self._n_prefetch_runs = 0
         self._n_prefetched_columns = 0
+        self._n_local_certified = 0
+        self._n_local_escalated = 0
         self._latencies: "dict[tuple, deque]" = {}
 
     def record_admitted(self, tenant: str) -> None:
@@ -112,6 +118,14 @@ class GatewayStats:
             self._n_prefetch_runs += 1
             self._n_prefetched_columns += int(n_columns)
 
+    def record_local(self, escalated: bool) -> None:
+        """Count one local fast-path query by its outcome."""
+        with self._lock:
+            if escalated:
+                self._n_local_escalated += 1
+            else:
+                self._n_local_certified += 1
+
     def snapshot(self) -> GatewaySnapshot:
         with self._lock:
             lanes = {}
@@ -134,5 +148,7 @@ class GatewayStats:
                 shed_by_tenant=dict(self._shed_by_tenant),
                 n_prefetch_runs=self._n_prefetch_runs,
                 n_prefetched_columns=self._n_prefetched_columns,
+                n_local_certified=self._n_local_certified,
+                n_local_escalated=self._n_local_escalated,
                 lanes=lanes,
             )

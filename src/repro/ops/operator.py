@@ -87,6 +87,7 @@ class TransitionOperator:
         self._base_dtype = base.dtype
         self._prepared: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._damped: "OrderedDict[tuple, TransitionOperator]" = OrderedDict()
+        self._has_self_loops: "bool | None" = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -155,6 +156,34 @@ class TransitionOperator:
             if found is None:
                 found = self._variants[self._base_dtype.name].astype(dtype)
                 self._variants[dtype.name] = found
+        return found
+
+    def csr_parts(self, dtype=np.float64) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Raw ``(indptr, indices, data)`` of the prepared CSR in ``dtype``.
+
+        Residual-access hook for the local push solvers
+        (:mod:`repro.topk.local`): they gather adjacency rows straight out of
+        these arrays instead of paying scipy's per-row fancy-indexing
+        allocations.  The arrays are the operator's own shared state —
+        callers must treat them as read-only.
+        """
+        m = self.matrix(dtype)
+        return m.indptr, m.indices, m.data
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether the operator's diagonal carries any mass (computed once).
+
+        The push solvers' Proposition-4-style error discount assumes return
+        trips take at least two steps, which a self-loop breaks — the graph
+        layer's dangling-node convention introduces exactly such loops, so
+        bound code must consult this instead of assuming loop-freeness.
+        """
+        found = self._has_self_loops
+        if found is None:
+            # Idempotent bool; a racing duplicate computation is harmless.
+            found = bool(self._variants[self._base_dtype.name].diagonal().any())
+            self._has_self_loops = found
         return found
 
     def damped(self, damp: float, dtype=np.float32) -> "TransitionOperator":

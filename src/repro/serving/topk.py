@@ -17,6 +17,13 @@ For callers that already ran the Sect. V bound machinery,
 :class:`repro.topk.bounds.CombinedBounds` into a sound candidate subset
 (every possible top-``k`` member), which :func:`topk_select` then ranks via
 its ``candidate_mask`` hook — partial selection over a pruned set.
+
+``method="local"`` on any entry point here routes the query through the
+certified local push solver (:func:`repro.topk.local.local_topk`) instead of
+the batch engine: same top-k set and ranking (certified, or escalated to the
+bit-identical exact solve), sublinear work on easy queries.  Certified
+scores are unnormalized lower estimates — see the exactness contract in
+:mod:`repro.topk.local`.
 """
 
 from __future__ import annotations
@@ -161,8 +168,14 @@ def roundtriprank_batch_topk(
     Fuses :func:`repro.engine.roundtriprank_batch` with per-column partial
     selection; row ``j`` matches the full-vector ranking of query ``j``.
     ``exclude`` is either one node set shared by all queries or a sequence of
-    one set per query.
+    one set per query.  ``method="local"`` dispatches to the certified local
+    push solver instead of the engine (identical set and ranking).
     """
+    if solver_kwargs.get("method") == "local":
+        return _local_batch_topk(
+            graph, queries, k, alpha, "roundtriprank", 0.5, normalize,
+            exclude, candidate_mask, solver_kwargs,
+        )
     scores = roundtriprank_batch(graph, queries, alpha, normalize, **solver_kwargs)
     return _batch_topk(scores, k, exclude, candidate_mask)
 
@@ -182,9 +195,74 @@ def roundtriprank_plus_batch_topk(
 
     Row ``j`` matches the full-vector ranking of
     ``roundtriprank_plus(graph, queries[j], beta, alpha)``.
+    ``method="local"`` dispatches to the certified local push solver.
     """
+    if solver_kwargs.get("method") == "local":
+        return _local_batch_topk(
+            graph, queries, k, alpha, "roundtriprank_plus", beta, False,
+            exclude, candidate_mask, solver_kwargs,
+        )
     scores = roundtriprank_plus_batch(graph, queries, beta, alpha, **solver_kwargs)
     return _batch_topk(scores, k, exclude, candidate_mask)
+
+
+def _local_batch_topk(
+    graph: DiGraph,
+    queries: "Sequence[Query]",
+    k: int,
+    alpha: float,
+    measure: str,
+    beta: float,
+    normalize: bool,
+    exclude: "Sequence | None",
+    candidate_mask: "np.ndarray | None",
+    solver_kwargs: dict,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-query local-push dispatch behind ``method="local"``.
+
+    Mirrors :func:`_batch_topk`'s exclude/width semantics; each query is an
+    independent :func:`repro.topk.local.local_topk` call (the local solver
+    is a single-query algorithm — batching buys nothing when the whole point
+    is touching a neighborhood instead of the graph).  ``workers=`` is
+    accepted and ignored for symmetry with the engine signature.
+    """
+    from repro.topk.local import local_topk  # circular at module level
+
+    kwargs = dict(solver_kwargs)
+    kwargs.pop("method", None)
+    kwargs.pop("workers", None)
+    n_queries = len(queries)
+    if n_queries == 0:
+        raise ValueError("queries must not be empty")
+    if exclude is None or isinstance(exclude, (set, frozenset)):
+        per_query_exclude = [exclude] * n_queries
+    else:
+        per_query_exclude = list(exclude)
+        if len(per_query_exclude) != n_queries:
+            raise ValueError(
+                f"exclude must be one shared set or one entry per query; got "
+                f"{len(per_query_exclude)} entries for {n_queries} queries"
+            )
+    all_idx, all_val = [], []
+    for j, query in enumerate(queries):
+        result = local_topk(
+            graph,
+            query,
+            k,
+            alpha,
+            measure=measure,
+            beta=beta,
+            normalize=normalize,
+            exclude=per_query_exclude[j],
+            candidate_mask=candidate_mask,
+            **kwargs,
+        )
+        all_idx.append(result.indices)
+        all_val.append(result.scores)
+    width = min(arr.shape[0] for arr in all_idx)
+    indices = np.stack([arr[:width] for arr in all_idx])
+    values = np.stack([arr[:width] for arr in all_val])
+    return indices, values
 
 
 def candidates_from_bounds(bounds: CombinedBounds, k: int, n_nodes: int) -> "np.ndarray | None":

@@ -9,6 +9,12 @@ from repro.topk.graphaccess import (
     InstrumentedGraphAccess,
     LocalGraphAccess,
 )
+from repro.topk.local import (
+    LOCAL_MEASURES,
+    ColumnPush,
+    LocalTopKResult,
+    local_topk,
+)
 from repro.topk.naive import ExactTopK, naive_topk
 from repro.topk.tbound import TBoundSide
 from repro.topk.twosbound import (
@@ -33,6 +39,10 @@ __all__ = [
     "GraphAccess",
     "LocalGraphAccess",
     "InstrumentedGraphAccess",
+    "LOCAL_MEASURES",
+    "ColumnPush",
+    "LocalTopKResult",
+    "local_topk",
     "ExactTopK",
     "naive_topk",
     "DEFAULT_HEAVY_DEGREE",

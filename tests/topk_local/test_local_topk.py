@@ -1,0 +1,251 @@
+"""Tests for the certified local push top-k solver (repro.topk.local).
+
+The exactness contract under test: whatever the outcome flag says —
+``certified`` (bounds proved the set and ranking) or ``escalated`` (the
+exact solver took over) — the returned top-k indices equal the full-solve
+oracle's, and certified results carry sound lower/upper score bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import combine_beta, frank_vector, normalize_query, trank_vector
+from repro.ops import get_operator
+from repro.serving.topk import topk_select
+from repro.topk import LOCAL_MEASURES, ColumnPush, local_topk
+from repro.topk.local import inmass_vector
+
+ALPHA = 0.25
+
+
+def oracle_scores(graph, query, measure, beta=0.5, alpha=ALPHA):
+    """Unnormalized reference scores from the per-vector core solvers."""
+    nodes, weights = normalize_query(graph, query)
+    scores = np.zeros(graph.n_nodes)
+    for node, weight in zip(nodes.tolist(), weights.tolist()):
+        f = frank_vector(graph, node, alpha)
+        t = trank_vector(graph, node, alpha)
+        if measure == "frank":
+            scores += weight * f
+        elif measure == "trank":
+            scores += weight * t
+        elif measure == "roundtriprank":
+            scores += weight * f * t
+        else:
+            scores += weight * combine_beta(f, t, beta)
+    return scores
+
+
+def assert_matches_oracle(graph, query, k, measure="roundtriprank", **kwargs):
+    """Run local_topk and check indices + certified-bound soundness."""
+    result = local_topk(
+        graph, query, k, ALPHA, measure=measure, normalize=False, **kwargs
+    )
+    truth = oracle_scores(graph, query, measure, beta=kwargs.get("beta", 0.5))
+    expected, expected_vals = topk_select(
+        truth,
+        k,
+        exclude=kwargs.get("exclude"),
+        candidate_mask=kwargs.get("candidate_mask"),
+    )
+    assert result.indices.tolist() == expected.tolist(), (
+        f"top-{k} mismatch ({'certified' if result.certified else 'escalated'})"
+    )
+    assert result.certified != result.escalated
+    if result.certified:
+        # scores are lower estimates; truth sits within [scores, scores+bound]
+        assert np.all(result.scores <= expected_vals + 1e-12)
+        assert np.all(expected_vals <= result.scores + result.bound + 1e-12)
+    return result
+
+
+class TestOracleParity:
+    @pytest.mark.parametrize("measure", LOCAL_MEASURES)
+    @pytest.mark.parametrize("query", [0, 4, 9])
+    def test_toy_graph_all_measures(self, toy_graph, query, measure):
+        assert_matches_oracle(toy_graph, query, 3, measure=measure)
+
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_bibnet_roundtriprank(self, small_bibnet, k):
+        for query in small_bibnet.paper_nodes[:4].tolist():
+            assert_matches_oracle(small_bibnet.graph, query, k)
+
+    def test_bibnet_certifies_some_query(self, small_bibnet):
+        outcomes = [
+            assert_matches_oracle(small_bibnet.graph, q, 10).certified
+            for q in small_bibnet.paper_nodes[:8].tolist()
+        ]
+        assert any(outcomes), "no query certified — the fast path never fires"
+
+    def test_multi_node_weighted_query(self, small_bibnet):
+        a, b = (int(v) for v in small_bibnet.paper_nodes[:2])
+        assert_matches_oracle(small_bibnet.graph, {a: 1.0, b: 3.0}, 5)
+
+    def test_exclude_and_candidate_mask(self, small_bibnet):
+        graph = small_bibnet.graph
+        query = int(small_bibnet.paper_nodes[0])
+        mask = np.zeros(graph.n_nodes, dtype=bool)
+        mask[small_bibnet.paper_nodes] = True
+        assert_matches_oracle(
+            graph, query, 5, exclude={query}, candidate_mask=mask
+        )
+
+    def test_refine_parity(self, small_bibnet):
+        for query in small_bibnet.paper_nodes[:4].tolist():
+            assert_matches_oracle(small_bibnet.graph, query, 10, refine=True)
+
+    @pytest.mark.parametrize("measure", ["roundtriprank_plus"])
+    def test_plus_beta_parity(self, small_bibnet, measure):
+        query = int(small_bibnet.paper_nodes[1])
+        assert_matches_oracle(
+            small_bibnet.graph, query, 5, measure=measure, beta=0.3
+        )
+
+
+class TestEscalation:
+    def test_zero_budget_is_bit_identical_to_batch_path(self, small_bibnet):
+        from repro.serving.topk import roundtriprank_batch_topk
+
+        graph = small_bibnet.graph
+        query = int(small_bibnet.paper_nodes[0])
+        result = local_topk(graph, query, 10, ALPHA, work_budget=0)
+        assert result.escalated
+        expected_idx, expected_val = roundtriprank_batch_topk(graph, [query], 10, ALPHA)
+        assert np.array_equal(result.indices, expected_idx[0])
+        assert np.array_equal(result.scores, expected_val[0])
+
+    def test_exact_method_power_parity(self, small_bibnet):
+        from repro.serving.topk import roundtriprank_batch_topk
+
+        graph = small_bibnet.graph
+        query = int(small_bibnet.paper_nodes[2])
+        result = local_topk(
+            graph, query, 5, ALPHA, work_budget=0, exact_method="power"
+        )
+        assert result.escalated
+        expected_idx, expected_val = roundtriprank_batch_topk(
+            graph, [query], 5, ALPHA, method="power"
+        )
+        assert np.array_equal(result.indices, expected_idx[0])
+        assert np.array_equal(result.scores, expected_val[0])
+
+    def test_solve_columns_hook_drives_escalation(self, toy_graph):
+        from repro.engine.batch import frank_batch, trank_batch
+
+        calls = []
+
+        def hook(kind, node_list):
+            calls.append(kind)
+            fn = frank_batch if kind == "f" else trank_batch
+            return fn(toy_graph, node_list, ALPHA)
+
+        result = local_topk(
+            toy_graph, 0, 3, ALPHA, work_budget=0, solve_columns=hook
+        )
+        assert result.escalated
+        assert sorted(set(calls)) == ["f", "t"]
+
+
+class TestColumnProbe:
+    def test_exact_columns_certify_without_work(self, small_bibnet):
+        graph = small_bibnet.graph
+        query = int(small_bibnet.paper_nodes[0])
+        columns = {
+            "f": frank_vector(graph, query, ALPHA),
+            "t": trank_vector(graph, query, ALPHA),
+        }
+
+        result = local_topk(
+            graph, query, 10, ALPHA,
+            normalize=False,
+            column_probe=lambda kind, node: columns[kind],
+        )
+        assert result.certified
+        assert result.work == 0
+        truth = oracle_scores(graph, query, "roundtriprank")
+        expected, _ = topk_select(truth, 10)
+        assert result.indices.tolist() == expected.tolist()
+
+    def test_probe_miss_falls_back_to_push(self, toy_graph):
+        result = local_topk(
+            toy_graph, 0, 3, ALPHA, column_probe=lambda kind, node: None
+        )
+        assert result.certified or result.escalated
+
+
+class TestValidation:
+    def test_bad_measure(self, toy_graph):
+        with pytest.raises(ValueError, match="measure"):
+            local_topk(toy_graph, 0, 3, measure="pagerank")
+
+    def test_bad_k(self, toy_graph):
+        with pytest.raises(ValueError, match="k must be"):
+            local_topk(toy_graph, 0, 0)
+
+    def test_bad_target(self, toy_graph):
+        with pytest.raises(ValueError, match="target"):
+            local_topk(toy_graph, 0, 3, target=0.0)
+
+    def test_bad_alpha(self, toy_graph):
+        with pytest.raises(ValueError):
+            local_topk(toy_graph, 0, 3, alpha=1.0)
+
+
+class TestPushState:
+    def test_f_push_brackets_true_column(self, toy_graph):
+        node = 4
+        truth = frank_vector(toy_graph, node, ALPHA)
+        push = ColumnPush(
+            get_operator(toy_graph, transpose=False),
+            node,
+            ALPHA,
+            "f",
+            inmass=inmass_vector(toy_graph, ALPHA),
+        )
+        push.advance(1e-4, 10**9)
+        assert np.all(push.estimate <= truth + 1e-12)
+        assert np.all(truth <= push.estimate + push.error() + 1e-12)
+
+    def test_t_push_brackets_true_column(self, toy_graph):
+        node = 4
+        truth = trank_vector(toy_graph, node, ALPHA)
+        push = ColumnPush(get_operator(toy_graph, transpose=True), node, ALPHA, "t")
+        push.advance(1e-4, 10**9)
+        assert np.all(push.estimate <= truth + 1e-12)
+        assert np.all(truth <= push.estimate + push.error() + 1e-12)
+
+    def test_advance_is_resumable_and_monotone(self, small_bibnet):
+        graph = small_bibnet.graph
+        node = int(small_bibnet.paper_nodes[0])
+        push = ColumnPush(get_operator(graph, transpose=True), node, ALPHA, "t")
+        push.advance(1.0, 64)
+        drive_coarse, work_coarse = push.drive(), push.work
+        push.advance(1e-6, 10**9)
+        assert push.drive() <= drive_coarse
+        assert push.work >= work_coarse
+        truth = trank_vector(graph, node, ALPHA)
+        assert np.all(truth <= push.estimate + push.error() + 1e-12)
+
+    def test_kind_validation(self, toy_graph):
+        op = get_operator(toy_graph, transpose=False)
+        with pytest.raises(ValueError, match="kind"):
+            ColumnPush(op, 0, ALPHA, "x")
+        with pytest.raises(ValueError, match="in-mass"):
+            ColumnPush(op, 0, ALPHA, "f")
+
+
+class TestInmassVector:
+    def test_cached_shared_and_readonly(self, toy_graph):
+        a = inmass_vector(toy_graph, ALPHA)
+        b = inmass_vector(toy_graph, ALPHA)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0.0
+
+    def test_dominates_column_row_sums(self, toy_graph):
+        # c(v) = sum_u f_u(v): check against the explicitly-summed columns.
+        total = np.zeros(toy_graph.n_nodes)
+        for u in range(toy_graph.n_nodes):
+            total += frank_vector(toy_graph, u, ALPHA)
+        assert np.all(inmass_vector(toy_graph, ALPHA) >= total - 1e-9)

@@ -1,0 +1,66 @@
+"""``method="local"`` on the serving top-k entry points.
+
+The dispatch must be a drop-in: same result shapes, same exclude/width
+semantics as the engine path, and identical top-k indices (the local
+solver's exactness contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.topk import (
+    roundtriprank_batch_topk,
+    roundtriprank_plus_batch_topk,
+    roundtriprank_topk,
+)
+
+ALPHA = 0.25
+
+
+class TestLocalMethodDispatch:
+    def test_batch_matches_engine_path(self, small_bibnet):
+        graph = small_bibnet.graph
+        queries = [int(v) for v in small_bibnet.paper_nodes[:3]]
+        engine_idx, _ = roundtriprank_batch_topk(graph, queries, 5, ALPHA)
+        local_idx, local_val = roundtriprank_batch_topk(
+            graph, queries, 5, ALPHA, method="local"
+        )
+        assert np.array_equal(local_idx, engine_idx)
+        assert local_val.shape == local_idx.shape
+
+    def test_single_query_entry_point(self, small_bibnet):
+        graph = small_bibnet.graph
+        query = int(small_bibnet.paper_nodes[0])
+        engine_idx, _ = roundtriprank_topk(graph, query, 10, ALPHA)
+        local_idx, _ = roundtriprank_topk(graph, query, 10, ALPHA, method="local")
+        assert np.array_equal(local_idx, engine_idx)
+
+    def test_plus_measure_and_per_query_exclude(self, small_bibnet):
+        graph = small_bibnet.graph
+        queries = [int(v) for v in small_bibnet.paper_nodes[:2]]
+        exclude = [{queries[0]}, {queries[1]}]
+        engine_idx, _ = roundtriprank_plus_batch_topk(
+            graph, queries, 5, beta=0.3, alpha=ALPHA, exclude=exclude
+        )
+        local_idx, _ = roundtriprank_plus_batch_topk(
+            graph, queries, 5, beta=0.3, alpha=ALPHA, exclude=exclude, method="local"
+        )
+        assert np.array_equal(local_idx, engine_idx)
+        for row, excl in zip(local_idx, exclude):
+            assert not set(row.tolist()) & excl
+
+    def test_workers_kwarg_accepted_and_ignored(self, toy_graph):
+        idx, _ = roundtriprank_batch_topk(
+            toy_graph, [0, 1], 3, ALPHA, method="local", workers=2
+        )
+        assert idx.shape == (2, 3)
+
+    def test_empty_queries_raise(self, toy_graph):
+        with pytest.raises(ValueError, match="queries"):
+            roundtriprank_batch_topk(toy_graph, [], 3, ALPHA, method="local")
+
+    def test_mismatched_exclude_raises(self, toy_graph):
+        with pytest.raises(ValueError, match="exclude"):
+            roundtriprank_batch_topk(
+                toy_graph, [0, 1], 3, ALPHA, method="local", exclude=[{0}]
+            )
