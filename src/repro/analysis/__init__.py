@@ -4,8 +4,12 @@ Two halves, one subsystem:
 
 - the **static analyzer** (``python -m repro.analysis``) parses the tree
   and enforces the concurrency/immutability invariants earlier PRs paid
-  for — see :mod:`repro.analysis.rules` for the catalog, each rule tagged
-  with the historical bug it descends from;
+  for — see :mod:`repro.analysis.rules` for the module-scoped catalog and
+  :mod:`repro.analysis.project_rules` for the interprocedural one (built
+  on the call graph in :mod:`repro.analysis.callgraph` and the summary
+  fixpoint in :mod:`repro.analysis.summaries`), each rule tagged with the
+  historical bug it descends from; ``--baseline`` adopts new rules on a
+  legacy tree, ``--format sarif`` feeds code-scanning uploads;
 - the **runtime sanitizer** (:mod:`repro.analysis.sanitizer`, opt-in via
   ``REPRO_SANITIZE=1``) records the process-wide lock acquisition graph
   and fails on ordering cycles, and arms a write-after-publish tripwire
@@ -19,8 +23,11 @@ sanitizer catches the dynamic interleavings it cannot see.  CI runs both.
 
 from repro.analysis.analyzer import (
     ModuleContext,
+    ProjectAnalysis,
+    WaiverWarning,
     analyze_file,
     analyze_paths,
+    analyze_project,
     analyze_source,
     walk_scope,
 )
@@ -30,10 +37,13 @@ from repro.analysis.registry import Rule, all_rules, get_rule, register, rule_na
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectAnalysis",
     "Rule",
+    "WaiverWarning",
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "get_rule",
     "register",

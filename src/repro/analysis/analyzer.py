@@ -1,10 +1,16 @@
 """Parse modules once, run every rule, filter suppressions.
 
-:func:`analyze_source` is the core entry point: one parse, one
+:func:`analyze_source` is the module-scope entry point: one parse, one
 :class:`ModuleContext` shared by every rule (with a lazily built parent map
 so rules can walk *up* the tree — "is this ``wait()`` inside a ``while``
 loop" questions), findings filtered through the per-line
 ``# repro: ignore[rule]`` table and returned sorted by location.
+
+:func:`analyze_project` is the whole-tree entry point the CLI uses: it
+additionally builds the project call graph, runs the ``scope="project"``
+rules over it, tracks which waivers actually suppressed something
+(reporting dead ones as ``unused-waiver``), and returns structured
+warnings for waivers naming unknown rules.
 
 A file that does not parse yields a single ``parse-error`` pseudo-finding
 instead of crashing the run: an unparseable file in ``src`` must fail the
@@ -15,17 +21,23 @@ from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.findings import Finding
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.registry import Rule, all_rules, rule_names, rule_scope
 from repro.analysis.suppressions import is_suppressed, suppressed_rules
 
 #: rule name reserved for files the parser rejects (not suppressible by a
 #: registered rule since the suppression table itself needs a parseable
-#: line, but a bare ``# repro: ignore`` on the offending line still works).
+#: line, but a bare ignore waiver on the offending line still works).
 PARSE_ERROR_RULE = "parse-error"
+
+#: pseudo-rule for ignore waivers that suppress nothing on their line — a
+#: refactor that moves the offending code leaves the waiver behind,
+#: silently pre-waiving whatever lands there next.
+UNUSED_WAIVER_RULE = "unused-waiver"
 
 
 @dataclass
@@ -94,9 +106,14 @@ def walk_scope(node: ast.AST) -> "Iterator[ast.AST]":
 def analyze_source(
     source: str, path: str = "<string>", rules: "Sequence[Rule] | None" = None
 ) -> "list[Finding]":
-    """Run ``rules`` (default: all registered) over one module's source."""
+    """Run module-scoped ``rules`` (default: all) over one module's source.
+
+    Project-scoped rules need the whole tree and are skipped here; use
+    :func:`analyze_project` to run them (it also covers single files).
+    """
     if rules is None:
         rules = all_rules()
+    rules = [rule for rule in rules if rule_scope(rule) == "module"]
     table = suppressed_rules(source)
     try:
         tree = ast.parse(source)
@@ -141,15 +158,172 @@ def iter_python_files(paths: Iterable[str]) -> "Iterator[str]":
             yield path
 
 
-def analyze_paths(
-    paths: Iterable[str], rules: "Sequence[Rule] | None" = None
-) -> "tuple[list[Finding], int]":
-    """Analyze every ``.py`` file under ``paths``; ``(findings, n_files)``."""
+@dataclass(frozen=True, order=True)
+class WaiverWarning:
+    """A ``# repro: ignore[...]`` comment naming a rule nobody registered.
+
+    Not a finding (a renamed rule must not brick the gate) but no longer
+    stderr-only either: the CLI embeds these in ``--format json``/``sarif``
+    output so CI artifacts capture them.
+    """
+
+    path: str
+    line: int
+    rule: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: warning: suppression names unknown "
+            f"rule {self.rule!r}"
+        )
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "kind": "unknown-waiver",
+        }
+
+
+@dataclass
+class ProjectAnalysis:
+    """Everything one whole-tree analyzer run produced."""
+
+    findings: "list[Finding]"
+    n_files: int
+    warnings: "list[WaiverWarning]"
+    elapsed_seconds: float
+
+
+def analyze_project(
+    paths: Iterable[str],
+    rules: "Sequence[Rule] | None" = None,
+    check_waivers: bool = True,
+) -> ProjectAnalysis:
+    """Analyze every ``.py`` file under ``paths`` as one project.
+
+    Module rules run per file; project rules run once over the call graph
+    built from every parseable file.  Suppressions are tracked: a waiver
+    that suppressed nothing becomes an ``unused-waiver`` finding (unless
+    ``check_waivers`` is off), and waivers naming unknown rules are
+    returned as structured warnings.
+    """
+    from repro.analysis.callgraph import Project
+    from repro.analysis.summaries import propagate
+
+    started = time.perf_counter()
     if rules is None:
         rules = all_rules()
-    findings: "list[Finding]" = []
+    mod_rules = [rule for rule in rules if rule_scope(rule) == "module"]
+    proj_rules = [rule for rule in rules if rule_scope(rule) == "project"]
+
+    sources: "dict[str, str]" = {}
+    tables: "dict[str, dict[int, frozenset[str] | None]]" = {}
+    contexts: "list[ModuleContext]" = []
+    raw: "list[Finding]" = []
     n_files = 0
     for filepath in iter_python_files(paths):
         n_files += 1
-        findings.extend(analyze_file(filepath, rules=rules))
-    return sorted(findings), n_files
+        with open(filepath, encoding="utf-8") as handle:
+            source = handle.read()
+        sources[filepath] = source
+        tables[filepath] = suppressed_rules(source)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    path=filepath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        ctx = ModuleContext(path=filepath, source=source, tree=tree)
+        contexts.append(ctx)
+        for rule in mod_rules:
+            raw.extend(rule.check(ctx))
+
+    if proj_rules:
+        project = Project(contexts)
+        summaries = propagate(project)
+        for rule in proj_rules:
+            raw.extend(rule.check_project(project, summaries))
+
+    # Suppression filtering, recording which waivers earned their keep.
+    hits: "set[tuple[str, int, str]]" = set()  # (path, line, rule) that fired
+    bare_hits: "set[tuple[str, int]]" = set()
+    findings: "list[Finding]" = []
+    for finding in raw:
+        table = tables.get(finding.path, {})
+        if is_suppressed(table, finding.line, finding.rule):
+            hits.add((finding.path, finding.line, finding.rule))
+            bare_hits.add((finding.path, finding.line))
+        else:
+            findings.append(finding)
+
+    known = set(rule_names()) | {PARSE_ERROR_RULE, UNUSED_WAIVER_RULE}
+    # Staleness is only provable for rules that actually ran this pass: under
+    # --select, a waiver for an unselected rule may well be earning its keep.
+    ran = {rule.name for rule in rules} | {PARSE_ERROR_RULE, UNUSED_WAIVER_RULE}
+    full_catalog = set(rule_names()) <= ran
+    warnings: "list[WaiverWarning]" = []
+    for filepath, table in sorted(tables.items()):
+        for lineno, entry in sorted(table.items()):
+            if entry is None:
+                # A bare ignore waives *any* rule, so it is provably stale
+                # only when the whole catalog ran and nothing hit the line.
+                if check_waivers and full_catalog and (filepath, lineno) not in bare_hits:
+                    findings.append(
+                        Finding(
+                            path=filepath,
+                            line=lineno,
+                            col=1,
+                            rule=UNUSED_WAIVER_RULE,
+                            message=(
+                                "bare '# repro: ignore' suppresses nothing "
+                                "on this line; delete the stale waiver"
+                            ),
+                        )
+                    )
+                continue
+            # Naming the pseudo-rule itself waives staleness for the whole
+            # line — the escape hatch for deliberately pre-placed waivers.
+            self_waived = UNUSED_WAIVER_RULE in entry
+            for name in sorted(entry):
+                if name not in known:
+                    warnings.append(WaiverWarning(filepath, lineno, name))
+                elif name == UNUSED_WAIVER_RULE or self_waived or name not in ran:
+                    continue
+                elif check_waivers and (filepath, lineno, name) not in hits:
+                    findings.append(
+                        Finding(
+                            path=filepath,
+                            line=lineno,
+                            col=1,
+                            rule=UNUSED_WAIVER_RULE,
+                            message=(
+                                f"waiver '# repro: ignore[{name}]' "
+                                "suppresses nothing on this line; delete "
+                                "the stale waiver"
+                            ),
+                        )
+                    )
+
+    return ProjectAnalysis(
+        findings=sorted(findings),
+        n_files=n_files,
+        warnings=sorted(warnings),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def analyze_paths(
+    paths: Iterable[str], rules: "Sequence[Rule] | None" = None
+) -> "tuple[list[Finding], int]":
+    """Back-compat wrapper: full project analysis as ``(findings, n_files)``."""
+    analysis = analyze_project(paths, rules=rules)
+    return analysis.findings, analysis.n_files

@@ -1,0 +1,443 @@
+"""Project-wide call graph: module-qualified resolution of calls.
+
+The intra-function rules in :mod:`repro.analysis.rules` see one module at a
+time; the project rules in :mod:`repro.analysis.project_rules` need to know
+*who calls whom* across the whole tree.  :class:`Project` parses every
+module once (reusing the per-module :class:`~repro.analysis.analyzer.
+ModuleContext`), builds a symbol table per module, and resolves call
+expressions to fully-qualified function names:
+
+- ``pkg.mod.func`` for module-level functions,
+- ``pkg.mod.Class.method`` for methods.
+
+Resolution handles the dispatch shapes this tree actually uses:
+
+- bare names (local ``def``s, ``from x import y`` [``as z``] symbols,
+  module-level ``alias = func`` assignments);
+- dotted module access (``import pkg.mod [as m]`` then ``m.func()``);
+- ``self.method()`` within a class, walking project-resolvable base
+  classes;
+- class-attribute dispatch: ``self.attr.method()`` where some method of
+  the class assigns ``self.attr = KnownClass(...)``;
+- local-instance dispatch: ``x = KnownClass(...); x.method()`` within one
+  function;
+- ``KnownClass(...)`` resolving to ``KnownClass.__init__``.
+
+Everything else resolves to ``None`` — **conservative over unknowns**:
+the engine never guesses a target, so a project rule built on the graph
+can miss an escape through an unresolvable indirection (first-class
+function values, dict dispatch, external libraries) but never invents a
+call edge that is not there.  Module names are derived from the package
+structure on disk (walking up while ``__init__.py`` exists), so the same
+file resolves identically no matter which path prefix the CLI was given.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.analyzer import ModuleContext, iter_python_files
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name derived from the package structure on disk.
+
+    Walks parent directories while they contain ``__init__.py``; a file
+    outside any package is just its stem.  ``pkg/__init__.py`` names the
+    package itself.
+    """
+    abspath = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(abspath))[0]
+    parts = [] if stem == "__init__" else [stem]
+    directory = os.path.dirname(abspath)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.insert(0, os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    return ".".join(parts) if parts else stem
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method, with its defining context."""
+
+    qname: str
+    module: str
+    name: str
+    cls: "str | None"  # owning class qname, None for module-level functions
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ctx: ModuleContext
+
+    @property
+    def params(self) -> "list[str]":
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+    def site(self) -> str:
+        return f"{self.ctx.path}:{self.node.lineno}"
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, raw base names, and inferred attribute types."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    bases: "list[str]" = field(default_factory=list)
+    #: ``self.<attr> = KnownClass(...)`` discovered anywhere in the class;
+    #: attr name -> class qname (class-attribute dispatch).
+    attr_types: "dict[str, str]" = field(default_factory=dict)
+    #: ``self.<attr> = threading.Lock()`` sites; attr -> "path:line".
+    lock_fields: "dict[str, str]" = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table used during call resolution."""
+
+    name: str
+    ctx: ModuleContext
+    funcs: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    classes: "dict[str, ClassInfo]" = field(default_factory=dict)
+    #: local name -> module qname (``import a.b as m`` / ``from a import b``
+    #: where ``a.b`` is a project module).
+    import_modules: "dict[str, str]" = field(default_factory=dict)
+    #: local name -> symbol qname (``from a.b import f`` -> ``a.b.f``).
+    import_symbols: "dict[str, str]" = field(default_factory=dict)
+    #: top-level names bound by ``import a.b.c`` (binds ``a``).
+    import_roots: "set[str]" = field(default_factory=set)
+    #: module-level ``alias = <dotted>`` assignments, unresolved text.
+    aliases: "dict[str, str]" = field(default_factory=dict)
+    #: module-level ``name = threading.Lock()`` sites; name -> "path:line".
+    module_locks: "dict[str, str]" = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ResolvedCallee:
+    """A call target plus how the arguments map onto its parameters."""
+
+    func: FunctionInfo
+    #: positional argument i at the call maps to parameter i + arg_offset
+    #: (1 for bound method calls, where parameter 0 is ``self``).
+    arg_offset: int
+
+
+def _dotted_parts(node: ast.AST) -> "list[str] | None":
+    """``["a", "b", "c"]`` for an a.b.c chain rooted in a Name."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _is_threading_lock_call(node: ast.AST, imported: "set[str]") -> "bool":
+    if not isinstance(node, ast.Call):
+        return False
+    parts = _dotted_parts(node.func)
+    if parts is None:
+        return False
+    dotted = ".".join(parts)
+    if dotted in ("threading.Lock", "threading.RLock"):
+        return True
+    return len(parts) == 1 and parts[0] in ("Lock", "RLock") and parts[0] in imported
+
+
+class Project:
+    """Every parsed module plus the resolved call graph over them."""
+
+    def __init__(self, contexts: "Iterable[ModuleContext]") -> None:
+        self.modules: "dict[str, ModuleInfo]" = {}
+        self.functions: "dict[str, FunctionInfo]" = {}
+        self.classes: "dict[str, ClassInfo]" = {}
+        for ctx in contexts:
+            self._index_module(ctx)
+        for minfo in self.modules.values():
+            self._bind_imports(minfo)
+        for cinfo in self.classes.values():
+            self._infer_attr_types(cinfo)
+
+    # -- construction ---------------------------------------------------- #
+
+    @classmethod
+    def from_paths(cls, paths: "Iterable[str]") -> "Project":
+        contexts = []
+        for filepath in iter_python_files(paths):
+            try:
+                with open(filepath, encoding="utf-8") as handle:
+                    source = handle.read()
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue  # unparseable files surface as parse-error findings
+            contexts.append(ModuleContext(path=filepath, source=source, tree=tree))
+        return cls(contexts)
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        name = module_name_for(ctx.path)
+        minfo = ModuleInfo(name=name, ctx=ctx)
+        self.modules[name] = minfo
+        threading_names = {
+            alias.asname or alias.name
+            for node in ctx.tree.body
+            if isinstance(node, ast.ImportFrom) and node.module == "threading"
+            for alias in node.names
+        }
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                finfo = FunctionInfo(
+                    qname=f"{name}.{stmt.name}",
+                    module=name,
+                    name=stmt.name,
+                    cls=None,
+                    node=stmt,
+                    ctx=ctx,
+                )
+                minfo.funcs[stmt.name] = finfo
+                self.functions[finfo.qname] = finfo
+            elif isinstance(stmt, ast.ClassDef):
+                cinfo = ClassInfo(
+                    qname=f"{name}.{stmt.name}",
+                    module=name,
+                    name=stmt.name,
+                    node=stmt,
+                )
+                for base in stmt.bases:
+                    parts = _dotted_parts(base)
+                    if parts is not None:
+                        cinfo.bases.append(".".join(parts))
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        finfo = FunctionInfo(
+                            qname=f"{cinfo.qname}.{sub.name}",
+                            module=name,
+                            name=sub.name,
+                            cls=cinfo.qname,
+                            node=sub,
+                            ctx=ctx,
+                        )
+                        cinfo.methods[sub.name] = finfo
+                        self.functions[finfo.qname] = finfo
+                minfo.classes[stmt.name] = cinfo
+                self.classes[cinfo.qname] = cinfo
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                target = stmt.targets[0].id
+                if _is_threading_lock_call(stmt.value, threading_names):
+                    minfo.module_locks[target] = f"{ctx.path}:{stmt.value.lineno}"
+                else:
+                    parts = _dotted_parts(stmt.value)
+                    if parts is not None:
+                        minfo.aliases[target] = ".".join(parts)
+
+    def _bind_imports(self, minfo: ModuleInfo) -> None:
+        for stmt in minfo.ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.asname is not None:
+                        if alias.name in self.modules:
+                            minfo.import_modules[alias.asname] = alias.name
+                    else:
+                        minfo.import_roots.add(alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(minfo, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    as_module = f"{base}.{alias.name}" if base else alias.name
+                    if as_module in self.modules:
+                        minfo.import_modules[local] = as_module
+                    elif base:
+                        minfo.import_symbols[local] = f"{base}.{alias.name}"
+
+    def _import_base(self, minfo: ModuleInfo, stmt: ast.ImportFrom) -> "str | None":
+        """Absolute module the ``from ... import`` names are drawn from."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        # Relative import: one dot names the containing package, each
+        # extra dot climbs one more level.  A package (__init__.py) is
+        # its own containing package; a module's is its prefix.
+        parts = minfo.name.split(".")
+        is_package = os.path.basename(minfo.ctx.path) == "__init__.py"
+        package_parts = parts if is_package else parts[:-1]
+        climb = stmt.level - 1
+        if climb > len(package_parts):
+            return None  # relative import beyond the project root
+        base_parts = package_parts[: len(package_parts) - climb]
+        if stmt.module:
+            base_parts = base_parts + stmt.module.split(".")
+        return ".".join(base_parts)
+
+    def _infer_attr_types(self, cinfo: ClassInfo) -> None:
+        minfo = self.modules[cinfo.module]
+        threading_names = {
+            alias.asname or alias.name
+            for node in minfo.ctx.tree.body
+            if isinstance(node, ast.ImportFrom) and node.module == "threading"
+            for alias in node.names
+        }
+        for method in cinfo.methods.values():
+            for node in ast.walk(method.node):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                ):
+                    continue
+                attr = node.targets[0].attr
+                if _is_threading_lock_call(node.value, threading_names):
+                    cinfo.lock_fields[attr] = (
+                        f"{minfo.ctx.path}:{node.value.lineno}"
+                    )
+                elif isinstance(node.value, ast.Call):
+                    target = self._class_of_call(minfo, node.value)
+                    if target is not None:
+                        cinfo.attr_types[attr] = target.qname
+
+    def _class_of_call(self, minfo: ModuleInfo, call: ast.Call) -> "ClassInfo | None":
+        parts = _dotted_parts(call.func)
+        if parts is None:
+            return None
+        symbol = self._symbol_for(minfo, parts)
+        if symbol is not None and symbol in self.classes:
+            return self.classes[symbol]
+        return None
+
+    # -- symbol resolution ----------------------------------------------- #
+
+    def _symbol_for(self, minfo: ModuleInfo, parts: "list[str]") -> "str | None":
+        """Fully-qualified symbol named by a dotted chain, if project-local."""
+        head, rest = parts[0], parts[1:]
+        if head in minfo.funcs and not rest:
+            return minfo.funcs[head].qname
+        if head in minfo.classes:
+            return ".".join([minfo.classes[head].qname] + rest)
+        if head in minfo.import_modules:
+            return ".".join([minfo.import_modules[head]] + rest)
+        if head in minfo.import_symbols:
+            return ".".join([minfo.import_symbols[head]] + rest)
+        if head in minfo.aliases:
+            resolved = self._symbol_for(minfo, minfo.aliases[head].split("."))
+            if resolved is not None:
+                return ".".join([resolved] + rest) if rest else resolved
+            return None
+        if head in minfo.import_roots:
+            return ".".join(parts)
+        return None
+
+    def _function_for_symbol(self, symbol: str) -> "ResolvedCallee | None":
+        if symbol in self.functions:
+            finfo = self.functions[symbol]
+            # Unbound access Class.method: caller passes self explicitly.
+            return ResolvedCallee(finfo, arg_offset=0)
+        if symbol in self.classes:
+            init = self._method_in_hierarchy(self.classes[symbol], "__init__")
+            if init is not None:
+                return ResolvedCallee(init, arg_offset=1)
+        return None
+
+    def _method_in_hierarchy(
+        self, cinfo: ClassInfo, method: str
+    ) -> "FunctionInfo | None":
+        seen: "set[str]" = set()
+        stack = [cinfo]
+        while stack:
+            current = stack.pop(0)
+            if current.qname in seen:
+                continue
+            seen.add(current.qname)
+            if method in current.methods:
+                return current.methods[method]
+            minfo = self.modules.get(current.module)
+            if minfo is None:
+                continue
+            for base in current.bases:
+                symbol = self._symbol_for(minfo, base.split("."))
+                if symbol is not None and symbol in self.classes:
+                    stack.append(self.classes[symbol])
+        return None
+
+    def resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        local_types: "dict[str, str] | None" = None,
+    ) -> "ResolvedCallee | None":
+        """Resolve one call expression made inside ``caller``.
+
+        ``local_types`` maps local variable names to class qnames for
+        ``x = KnownClass(...); x.method()`` dispatch; pass the tracker
+        built while scanning the function body.  Returns ``None`` for
+        anything the project cannot prove — never a guess.
+        """
+        minfo = self.modules.get(caller.module)
+        if minfo is None:
+            return None
+        parts = _dotted_parts(call.func)
+        if parts is None:
+            return None
+        if parts[0] == "self" and caller.cls is not None:
+            cinfo = self.classes.get(caller.cls)
+            if cinfo is None:
+                return None
+            if len(parts) == 2:
+                method = self._method_in_hierarchy(cinfo, parts[1])
+                if method is not None:
+                    return ResolvedCallee(method, arg_offset=1)
+                return None
+            if len(parts) == 3 and parts[1] in cinfo.attr_types:
+                target = self.classes.get(cinfo.attr_types[parts[1]])
+                if target is not None:
+                    method = self._method_in_hierarchy(target, parts[2])
+                    if method is not None:
+                        return ResolvedCallee(method, arg_offset=1)
+            return None
+        if local_types and parts[0] in local_types and len(parts) == 2:
+            target = self.classes.get(local_types[parts[0]])
+            if target is not None:
+                method = self._method_in_hierarchy(target, parts[1])
+                if method is not None:
+                    return ResolvedCallee(method, arg_offset=1)
+            return None
+        symbol = self._symbol_for(minfo, parts)
+        if symbol is None:
+            return None
+        return self._function_for_symbol(symbol)
+
+    # -- graph views ------------------------------------------------------ #
+
+    def call_edges(self) -> "Iterator[tuple[str, str, ast.Call]]":
+        """``(caller qname, callee qname, call node)`` for resolved calls."""
+        from repro.analysis.summaries import scan_function  # local: avoid cycle
+
+        for finfo in self.functions.values():
+            summary = scan_function(self, finfo)
+            for site in summary.calls:
+                if site.callee is not None:
+                    yield finfo.qname, site.callee.func.qname, site.node
+
+    def to_dot(self) -> str:
+        """The resolved call graph in Graphviz DOT form (``--graph dot``)."""
+        edges = sorted({(a, b) for a, b, _ in self.call_edges()})
+        lines = ["digraph callgraph {"]
+        nodes = sorted({n for edge in edges for n in edge})
+        for node in nodes:
+            lines.append(f'  "{node}";')
+        for a, b in edges:
+            lines.append(f'  "{a}" -> "{b}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"

@@ -2,15 +2,21 @@
 
 Exit codes follow the convention CI keys off:
 
-- ``0`` — analyzed cleanly, no findings;
-- ``1`` — findings reported (or a file failed to parse);
-- ``2`` — usage error (unknown rule in ``--select``, no such path).
+- ``0`` — analyzed cleanly (or every finding is in the ``--baseline``);
+- ``1`` — findings reported, a file failed to parse, or ``--max-seconds``
+  was exceeded;
+- ``2`` — usage error (unknown rule in ``--select``, no such path,
+  unreadable baseline).
 
-``--format json`` emits a single object with the run summary and the
-findings list so the CI job (and editors) can consume reports without
-scraping text.  Unknown rule names inside ``# repro: ignore[...]``
-comments are warnings, not errors: a stale suppression should surface in
-review, not brick the gate.
+``--format json`` emits a single object with the run summary, findings,
+and structured waiver warnings; ``--format sarif`` emits a SARIF 2.1.0
+log for GitHub code-scanning upload.  ``--baseline FILE`` subtracts a
+committed finding multiset so new rules can be adopted on a legacy tree
+without blocking (generate with ``--write-baseline``; the round-trip
+exits 0).  ``--graph dot`` dumps the resolved project call graph.
+``--max-seconds`` turns the run into its own perf gate: a fixpoint pass
+that silently goes quadratic as the tree grows becomes a red build, not
+a slow one.
 """
 
 from __future__ import annotations
@@ -21,9 +27,10 @@ import os
 import sys
 from typing import Sequence
 
-from repro.analysis.analyzer import analyze_paths, iter_python_files
-from repro.analysis.registry import all_rules, get_rule, rule_names
-from repro.analysis.suppressions import suppressed_rules
+from repro.analysis.analyzer import analyze_project
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.registry import all_rules, get_rule, rule_scope
+from repro.analysis.sarif import sarif_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -50,37 +57,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only this rule (repeatable); default: all registered rules",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings into FILE and exit 0",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot",),
+        help="dump the resolved project call graph (Graphviz DOT) and exit",
+    )
+    parser.add_argument(
+        "--no-check-waivers",
+        action="store_true",
+        help="do not report '# repro: ignore' comments that suppress nothing",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="S",
+        help="fail (exit 1) if the analysis itself takes longer than S seconds",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalog (name, summary, lineage) and exit",
+        help="print the rule catalog (name, scope, summary, lineage) and exit",
     )
     return parser
 
 
 def _list_rules(stream) -> None:
     for rule in all_rules():
-        print(f"{rule.name}", file=stream)
+        print(f"{rule.name} [{rule_scope(rule)}]", file=stream)
         print(f"    {rule.summary}", file=stream)
         print(f"    lineage: {rule.lineage}", file=stream)
-
-
-def _warn_unknown_suppressions(paths: Sequence[str], stream) -> None:
-    known = set(rule_names())
-    for filepath in iter_python_files(paths):
-        try:
-            with open(filepath, encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError:
-            continue
-        for lineno, entry in sorted(suppressed_rules(source).items()):
-            if entry is None:
-                continue
-            for name in sorted(entry - known):
-                print(
-                    f"{filepath}:{lineno}: warning: suppression names "
-                    f"unknown rule {name!r}",
-                    file=stream,
-                )
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -105,24 +119,71 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
 
-    findings, n_files = analyze_paths(args.paths, rules=rules)
-    _warn_unknown_suppressions(args.paths, sys.stderr)
+    if args.graph is not None:
+        from repro.analysis.callgraph import Project
+
+        print(Project.from_paths(args.paths).to_dot(), end="")
+        return 0
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    analysis = analyze_project(
+        args.paths, rules=rules, check_waivers=not args.no_check_waivers
+    )
+
+    if args.write_baseline is not None:
+        n_entries = write_baseline(args.write_baseline, analysis.findings)
+        print(
+            f"baseline: {n_entries} entr{'y' if n_entries == 1 else 'ies'} "
+            f"({len(analysis.findings)} finding(s)) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    findings = analysis.findings
+    n_baselined = 0
+    if baseline is not None:
+        findings, n_baselined = apply_baseline(findings, baseline)
+
+    if args.format != "json":
+        for warning in analysis.warnings:
+            print(warning.render(), file=sys.stderr)
 
     if args.format == "json":
         report = {
-            "files": n_files,
+            "files": analysis.n_files,
             "rules": [rule.name for rule in rules],
+            "elapsed_seconds": round(analysis.elapsed_seconds, 6),
+            "baselined": n_baselined,
             "findings": [finding.to_dict() for finding in findings],
+            "warnings": [warning.to_dict() for warning in analysis.warnings],
         }
         print(json.dumps(report, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(findings, rules, analysis.warnings), indent=2))
     else:
         for finding in findings:
             print(finding.render())
-        noun = "file" if n_files == 1 else "files"
+        noun = "file" if analysis.n_files == 1 else "files"
+        suffix = f" ({n_baselined} baselined)" if n_baselined else ""
         if findings:
-            print(f"{len(findings)} finding(s) in {n_files} {noun}")
+            print(f"{len(findings)} finding(s) in {analysis.n_files} {noun}{suffix}")
         else:
-            print(f"clean: {n_files} {noun}, {len(rules)} rule(s)")
+            print(f"clean: {analysis.n_files} {noun}, {len(rules)} rule(s){suffix}")
+
+    if args.max_seconds is not None and analysis.elapsed_seconds > args.max_seconds:
+        print(
+            f"error: analysis took {analysis.elapsed_seconds:.2f}s, over the "
+            f"--max-seconds budget of {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
 
     return 1 if findings else 0
 

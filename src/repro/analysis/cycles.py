@@ -1,0 +1,62 @@
+"""Cycle detection shared by the static lock-order rule and the sanitizer.
+
+The runtime sanitizer records lock acquisition order per lock *instance*;
+the static ``lock-order-global`` rule derives acquisition order per lock
+*identity* (module-level name or class field).  Both reduce "can these
+locks deadlock" to "does the acquisition-order graph contain a cycle", so
+the DFS lives here once and each side feeds it its own node type.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def find_cycles(adjacency: "dict[Node, set[Node]]") -> "Iterator[list[Node]]":
+    """Yield one witness cycle per strongly-entangled region (iterative DFS).
+
+    Each yielded list is a closed walk ``[a, b, ..., a]`` (first node
+    repeated at the end).  Nodes absent from ``adjacency``'s keys are
+    treated as sinks.  Deterministic: children are explored in sorted
+    order, so the same graph always yields the same witnesses.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(adjacency, WHITE)
+    for root in sorted(adjacency):
+        if color[root] != WHITE:
+            continue
+        path: "list[Node]" = []
+        stack: "list[tuple[Node, Iterator[Node]]]" = [
+            (root, iter(sorted(adjacency[root])))
+        ]
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color.get(child, BLACK) == GRAY:
+                    yield path[path.index(child) :] + [child]
+                elif color.get(child, BLACK) == WHITE:
+                    color[child] = GRAY
+                    path.append(child)
+                    stack.append((child, iter(sorted(adjacency.get(child, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+
+
+def canonical_cycle(cycle: "list[Node]") -> "tuple[Node, ...]":
+    """A rotation-invariant key for a closed walk.
+
+    ``[b, a, b]`` and ``[a, b, a]`` are the same cycle; dedupe by rotating
+    the open form so the smallest node leads.
+    """
+    nodes = cycle[:-1] if len(cycle) > 1 and cycle[0] == cycle[-1] else list(cycle)
+    pivot = min(range(len(nodes)), key=lambda i: repr(nodes[i]))
+    return tuple(nodes[pivot:] + nodes[:pivot])

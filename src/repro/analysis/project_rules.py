@@ -1,0 +1,217 @@
+"""Whole-program rules over the project call graph.
+
+These rules declare ``scope = "project"`` and implement
+``check_project(project, summaries)`` instead of the per-module
+``check(ctx)``: they see every module at once, composed through the
+call-graph closures in :mod:`repro.analysis.summaries`.  Each one is the
+interprocedural generalization of an intra-function rule that already
+paid for itself — the same bug shape, visible only across call edges.
+
+Findings anchor at the call site (or acquisition site) in the *caller*,
+so a ``# repro: ignore[rule]`` waiver sits next to the code that makes
+the cross-function decision, exactly like the intra-function rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.cycles import canonical_cycle, find_cycles
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules import _BLOCKING_ATTRS
+from repro.analysis.summaries import (
+    ProjectSummaries,
+    _arg_param_pairs,
+    expr_is_f32,
+    f32_locals,
+    lock_order_edges,
+)
+
+
+def _short(qname: str) -> str:
+    """Trailing ``Class.method``/``module.func`` segment for messages."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname
+
+
+@register
+class LockAcrossBlockingDeepRule:
+    """A held lock must not reach a blocking operation through any callee."""
+
+    name = "lock-across-blocking-deep"
+    scope = "project"
+    summary = (
+        "while holding a lock, do not call a function whose transitive "
+        "callees block (.submit/.result/.join/yield/await/time.sleep)"
+    )
+    lineage = (
+        "PR 6 shipped lock-across-blocking for the lexically visible case; "
+        "the gateway's submit path immediately showed the invisible one — a "
+        "lock acquired in RankGateway.submit reaching a blocking solve "
+        "three calls deep in engine.batch is the same deadlock, one "
+        "indirection away"
+    )
+
+    def check_project(self, project, summaries: ProjectSummaries) -> Iterable[Finding]:
+        for qname in sorted(summaries.summaries):
+            summary = summaries.summaries[qname]
+            for call in summary.calls:
+                if not call.held or call.callee is None:
+                    continue
+                if call.attr in _BLOCKING_ATTRS:
+                    continue  # the intra-function rule owns direct blocking
+                callee_q = call.callee.func.qname
+                fact = summaries.blocking.get(callee_q)
+                if fact is None:
+                    continue
+                held = ", ".join(
+                    sorted({ref.lock_id for ref in call.held})
+                )
+                chain = " -> ".join((callee_q,) + fact.chain)
+                yield summary.info.ctx.finding(
+                    call.node,
+                    self.name,
+                    f"{_short(callee_q)}() called while holding {held!r} "
+                    f"reaches a blocking operation: {fact.desc} at "
+                    f"{fact.site} (via {chain})",
+                )
+
+
+@register
+class LockOrderGlobalRule:
+    """The static cross-function lock acquisition order must be acyclic."""
+
+    name = "lock-order-global"
+    scope = "project"
+    summary = (
+        "statically derived cross-function lock acquisition-order cycles "
+        "(A held while a callee takes B, elsewhere B held while A is taken)"
+    )
+    lineage = (
+        "PR 6's runtime sanitizer catches inversions the test run happens "
+        "to execute; this rule derives the same held->acquired graph from "
+        "the call graph so the cycle fails CI even when no test "
+        "interleaves the two paths — same graph, same cycle detector "
+        "(repro.analysis.cycles), zero luck required"
+    )
+
+    def check_project(self, project, summaries: ProjectSummaries) -> Iterable[Finding]:
+        edges = lock_order_edges(project, summaries)
+        adjacency: "dict[str, set[str]]" = {}
+        for held, acquired in edges:
+            adjacency.setdefault(held, set()).add(acquired)
+            adjacency.setdefault(acquired, set())
+        seen: "set[tuple[str, ...]]" = set()
+        for cycle in find_cycles(adjacency):
+            key = canonical_cycle(cycle)
+            if len(key) < 2 or key in seen:
+                continue
+            seen.add(key)
+            ordered = list(key) + [key[0]]
+            hops = []
+            for a, b in zip(ordered, ordered[1:]):
+                edge = edges[(a, b)]
+                hops.append(f"{a} -> {b} ({edge.detail} at {edge.path}:{edge.line})")
+            anchor = edges[(ordered[0], ordered[1])]
+            yield Finding(
+                path=anchor.path,
+                line=anchor.line,
+                col=1,
+                rule=self.name,
+                message="lock acquisition-order cycle: " + "; ".join(hops),
+            )
+
+
+@register
+class ReadonlyEscapeRule:
+    """Frozen (published) arrays must not flow into writing callees."""
+
+    name = "readonly-escape"
+    scope = "project"
+    summary = (
+        "an array frozen with setflags(write=False) must not be passed to "
+        "a callee that writes that parameter (directly or transitively)"
+    )
+    lineage = (
+        "PR 3/PR 6: cache-store-readonly guarantees arrays are frozen "
+        "before they are shared, but a frozen column handed to a helper "
+        "that writes in place raises ValueError at serving time (or, "
+        "through a flags-flipping path, silently corrupts every cache "
+        "hit) — the escape is only visible across the call edge"
+    )
+
+    def check_project(self, project, summaries: ProjectSummaries) -> Iterable[Finding]:
+        for qname in sorted(summaries.summaries):
+            summary = summaries.summaries[qname]
+            if not summary.readonly_lines:
+                continue
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                callee_q = call.callee.func.qname
+                callee_writes = summaries.writes.get(callee_q, set())
+                if not callee_writes:
+                    continue
+                for arg, param in _arg_param_pairs(call):
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    frozen_at = summary.readonly_lines.get(arg.id)
+                    if frozen_at is None or frozen_at > call.node.lineno:
+                        continue
+                    if param in callee_writes:
+                        yield summary.info.ctx.finding(
+                            call.node,
+                            self.name,
+                            f"read-only array {arg.id!r} (frozen at line "
+                            f"{frozen_at}) is passed to {_short(callee_q)}(), "
+                            f"which writes parameter {param!r} in place "
+                            "(directly or via its callees)",
+                        )
+
+
+@register
+class DtypeContractFlowRule:
+    """float32-provenance values must not enter asserted-float64 paths."""
+
+    name = "dtype-contract-flow"
+    scope = "project"
+    summary = (
+        "a float32-provenance value (astype/constructor/f32-returning "
+        "callee, through arithmetic) must not flow into a parameter the "
+        "callee asserts to be float64"
+    )
+    lineage = (
+        "PR 4: the mixed-precision engine keeps a float32 operator copy "
+        "next to the bit-exact float64 reference path; one f32 product "
+        "slipping into a path that asserts float64 bit-exactness passes "
+        "every dtype check after an accidental upcast while silently "
+        "carrying f32 precision — the flow crosses functions, so no "
+        "module-scope rule can see it"
+    )
+
+    def check_project(self, project, summaries: ProjectSummaries) -> Iterable[Finding]:
+        for qname in sorted(summaries.summaries):
+            summary = summaries.summaries[qname]
+            f32_names = f32_locals(summary, summaries.returns_f32)
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                callee_q = call.callee.func.qname
+                contracts = summaries.f64_params.get(callee_q, set())
+                if not contracts:
+                    continue
+                for arg, param in _arg_param_pairs(call):
+                    if param in contracts and expr_is_f32(
+                        arg, f32_names, summary, summaries.returns_f32
+                    ):
+                        yield summary.info.ctx.finding(
+                            call.node,
+                            self.name,
+                            f"float32-provenance value flows into "
+                            f"{_short(callee_q)}() parameter {param!r}, "
+                            "which is asserted float64 (a bit-exactness "
+                            "contract); upcast explicitly with "
+                            "astype(float64) at the boundary if intended",
+                        )

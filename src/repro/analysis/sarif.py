@@ -1,0 +1,141 @@
+"""SARIF 2.1.0 rendering for ``--format sarif``.
+
+One run, one tool (``repro-analysis``), one result per finding — the
+static analysis results interchange format GitHub code scanning ingests.
+Findings map to ``level: error`` results; unknown-waiver warnings map to
+``level: warning`` results under a synthetic rule id, so CI artifacts
+capture them structurally (satellite of the same contract as
+``--format json``).
+
+Rule metadata comes from the registry: every ruleId referenced by a
+result has a matching ``tool.driver.rules`` descriptor (index-linked via
+``ruleIndex``), including the driver-level pseudo rules (``parse-error``,
+``unused-waiver``, ``unknown-waiver``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.analyzer import (
+    PARSE_ERROR_RULE,
+    UNUSED_WAIVER_RULE,
+    WaiverWarning,
+)
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+UNKNOWN_WAIVER_RULE = "unknown-waiver"
+
+#: descriptors for findings no registered rule owns.
+_PSEUDO_RULES = {
+    PARSE_ERROR_RULE: "the file does not parse; the analyzer cannot vouch for it",
+    UNUSED_WAIVER_RULE: (
+        "a '# repro: ignore' comment suppresses nothing on its line"
+    ),
+    UNKNOWN_WAIVER_RULE: (
+        "a '# repro: ignore[...]' comment names a rule nobody registered"
+    ),
+}
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    rules: Sequence,
+    warnings: "Sequence[WaiverWarning]" = (),
+) -> dict:
+    """The complete SARIF log object for one analyzer run."""
+    descriptors: "list[dict]" = []
+    index: "dict[str, int]" = {}
+
+    def _ensure_rule(rule_id: str, description: str, lineage: "str | None") -> int:
+        if rule_id in index:
+            return index[rule_id]
+        entry: dict = {
+            "id": rule_id,
+            "shortDescription": {"text": description},
+        }
+        if lineage:
+            entry["fullDescription"] = {"text": lineage}
+        index[rule_id] = len(descriptors)
+        descriptors.append(entry)
+        return index[rule_id]
+
+    for rule in rules:
+        _ensure_rule(rule.name, rule.summary, getattr(rule, "lineage", None))
+
+    results: "list[dict]" = []
+    for finding in findings:
+        description = _PSEUDO_RULES.get(finding.rule, finding.rule)
+        rule_index = _ensure_rule(finding.rule, description, None)
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(finding.path)},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    for warning in warnings:
+        rule_index = _ensure_rule(
+            UNKNOWN_WAIVER_RULE, _PSEUDO_RULES[UNKNOWN_WAIVER_RULE], None
+        )
+        results.append(
+            {
+                "ruleId": UNKNOWN_WAIVER_RULE,
+                "ruleIndex": rule_index,
+                "level": "warning",
+                "message": {
+                    "text": (
+                        f"suppression names unknown rule {warning.rule!r}"
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(warning.path)},
+                            "region": {"startLine": warning.line},
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": (
+                            "https://github.com/roundtriprank-repro"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

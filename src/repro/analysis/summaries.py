@@ -1,0 +1,703 @@
+"""Per-function summaries and the interprocedural fixpoint pass.
+
+:func:`scan_function` distills one function into the facts the project
+rules compose: which locks it acquires (and which calls happen *under*
+which lock), where it blocks, which locals it freezes read-only, which of
+its parameters it writes, which parameters it asserts to be float64, and
+what dtype provenance its return value has.
+
+:func:`propagate` closes those facts over the call graph with a worklist
+fixpoint, so a rule can ask "does anything this call transitively reaches
+block / acquire lock L / write parameter p" without re-walking the tree.
+Each propagated fact keeps a witness chain of qualified names so findings
+can show the path, not just the verdict.
+
+Conservative over unknowns, in the call-graph sense: an unresolvable call
+contributes nothing (the graph never invents edges), so the closures are
+under-approximations with respect to dynamic dispatch the resolver cannot
+see — the documented trade the intra-function rules already make.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    Project,
+    ResolvedCallee,
+    _dotted_parts,
+)
+from repro.analysis.rules import (
+    _BLOCKING_ATTRS,
+    _LOCKISH_RE,
+    _setflags_readonly_lines,
+)
+
+#: ndarray methods that mutate the receiver in place.
+_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "itemset", "resize"})
+
+_DTYPE_F32 = "float32"
+_DTYPE_F64 = "float64"
+
+
+@dataclass(frozen=True)
+class LockRef:
+    """One lock identity: a module-level name or a class field.
+
+    ``lock_id`` is ``module.name`` or ``module.Class.attr`` — the field
+    abstraction: every instance of a class shares one identity, which
+    over-approximates instance-distinct hierarchies (waive deliberate
+    ones) and is exactly what a global ordering discipline wants.
+    ``site`` is the ``path:line`` of the ``threading.Lock()`` factory call
+    when the scan saw it, matching the runtime sanitizer's creation sites.
+    """
+
+    lock_id: str
+    site: "str | None"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    callee: "ResolvedCallee | None"
+    attr: "str | None"  # rightmost attribute name for a.b.c() calls
+    held: "tuple[LockRef, ...]"  # locks lexically held at this call
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project rules need to know about one function."""
+
+    info: FunctionInfo
+    calls: "list[CallSite]" = field(default_factory=list)
+    #: directly blocking sites: (node, human description).
+    blocking: "list[tuple[ast.AST, str]]" = field(default_factory=list)
+    #: lock_id -> (ref, "path:line" of first acquisition in this body).
+    locks: "dict[str, tuple[LockRef, str]]" = field(default_factory=dict)
+    #: direct nested acquisition order: (held_id, acquired_id) -> node.
+    lock_edges: "dict[tuple[str, str], ast.AST]" = field(default_factory=dict)
+    #: local name -> line of its setflags(write=False).
+    readonly_lines: "dict[str, int]" = field(default_factory=dict)
+    #: parameters this function writes through (in-place mutation).
+    param_writes: "set[str]" = field(default_factory=set)
+    #: parameters asserted to be float64 (bit-exactness contracts).
+    f64_assert_params: "set[str]" = field(default_factory=set)
+    #: ordered module-visible assignments (name, value) for provenance.
+    assigns: "list[tuple[str, ast.expr]]" = field(default_factory=list)
+    returns: "list[ast.expr]" = field(default_factory=list)
+
+
+def _subscript_root(node: ast.AST) -> "str | None":
+    """Name at the root of a pure-subscript chain (``p[i][j]``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_dtype_const(node: ast.AST, which: str) -> bool:
+    """Whether ``node`` names the dtype ``which`` (np attr or string)."""
+    if isinstance(node, ast.Constant) and node.value == which:
+        return True
+    parts = _dotted_parts(node)
+    return parts is not None and parts[0] in ("np", "numpy") and parts[-1] == which
+
+
+def _astype_dtype(call: ast.Call) -> "str | None":
+    """``"float32"``/``"float64"`` for ``x.astype(...)`` calls, else None."""
+    if not (isinstance(call.func, ast.Attribute) and call.func.attr == "astype"):
+        return None
+    candidates = list(call.args[:1]) + [
+        kw.value for kw in call.keywords if kw.arg == "dtype"
+    ]
+    for node in candidates:
+        for which in (_DTYPE_F32, _DTYPE_F64):
+            if _is_dtype_const(node, which):
+                return which
+    return None
+
+
+def _local_instance_types(project: Project, finfo: FunctionInfo) -> "dict[str, str]":
+    """``x -> class qname`` for ``x = KnownClass(...)`` locals."""
+    minfo = project.modules.get(finfo.module)
+    if minfo is None:
+        return {}
+    types: "dict[str, str]" = {}
+    for node in ast.walk(finfo.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            cinfo = project._class_of_call(minfo, node.value)
+            if cinfo is not None:
+                types[node.targets[0].id] = cinfo.qname
+    return types
+
+
+def _lock_ref(project: Project, finfo: FunctionInfo, expr: ast.AST) -> "LockRef | None":
+    """Lock identity for a ``with``-item / ``.acquire()`` receiver."""
+    minfo = project.modules.get(finfo.module)
+    if minfo is None:
+        return None
+    if isinstance(expr, ast.Name):
+        if expr.id in minfo.module_locks:
+            return LockRef(f"{minfo.name}.{expr.id}", minfo.module_locks[expr.id])
+        if _LOCKISH_RE.search(expr.id):
+            return LockRef(f"{minfo.name}.{expr.id}", None)
+        return None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        root, attr = expr.value.id, expr.attr
+        if root == "self" and finfo.cls is not None:
+            cinfo = project.classes.get(finfo.cls)
+            if cinfo is not None:
+                if attr in cinfo.lock_fields:
+                    return LockRef(f"{cinfo.qname}.{attr}", cinfo.lock_fields[attr])
+                if _LOCKISH_RE.search(attr):
+                    return LockRef(f"{cinfo.qname}.{attr}", None)
+            return None
+        if root in minfo.import_modules:
+            other = project.modules.get(minfo.import_modules[root])
+            if other is not None and attr in other.module_locks:
+                return LockRef(f"{other.name}.{attr}", other.module_locks[attr])
+    return None
+
+
+def scan_function(project: Project, finfo: FunctionInfo) -> FunctionSummary:
+    """Distill one function body into a :class:`FunctionSummary`.
+
+    Nested function/class scopes are not attributed to the enclosing
+    function (their bodies run later, in their own frames), matching
+    :func:`repro.analysis.analyzer.walk_scope` semantics.
+    """
+    cached = project.__dict__.setdefault("_summaries", {})
+    if finfo.qname in cached:
+        return cached[finfo.qname]
+    summary = FunctionSummary(info=finfo)
+    local_types = _local_instance_types(project, finfo)
+    summary.readonly_lines = _setflags_readonly_lines(finfo.node)
+    params = set(finfo.params)
+
+    def visit(node: ast.AST, held: "tuple[LockRef, ...]") -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            return  # nested scope: runs in its own frame
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: "list[LockRef]" = []
+            for item in node.items:
+                visit(item.context_expr, held)
+                ref = _lock_ref(project, finfo, item.context_expr)
+                if ref is not None:
+                    acquired.append(ref)
+                    site = f"{finfo.ctx.path}:{item.context_expr.lineno}"
+                    summary.locks.setdefault(ref.lock_id, (ref, site))
+                    for holder in held + tuple(acquired[:-1]):
+                        if holder.lock_id != ref.lock_id:
+                            summary.lock_edges.setdefault(
+                                (holder.lock_id, ref.lock_id), item.context_expr
+                            )
+            inner = held + tuple(acquired)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            summary.blocking.append((node, "suspends its frame at a yield"))
+        elif isinstance(node, ast.Await):
+            summary.blocking.append((node, "suspends its frame at an await"))
+        elif isinstance(node, ast.Call):
+            attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            callee = project.resolve_call(finfo, node, local_types)
+            summary.calls.append(
+                CallSite(node=node, callee=callee, attr=attr, held=held)
+            )
+            dotted = _dotted_parts(node.func)
+            if attr in _BLOCKING_ATTRS:
+                summary.blocking.append(
+                    (node, f"calls .{attr}() (blocks on another thread)")
+                )
+            elif dotted == ["time", "sleep"]:
+                summary.blocking.append((node, "calls time.sleep()"))
+            elif (
+                attr == "acquire"
+                and isinstance(node.func, ast.Attribute)
+            ):
+                ref = _lock_ref(project, finfo, node.func.value)
+                if ref is not None:
+                    site = f"{finfo.ctx.path}:{node.lineno}"
+                    summary.locks.setdefault(ref.lock_id, (ref, site))
+                    for holder in held:
+                        if holder.lock_id != ref.lock_id:
+                            summary.lock_edges.setdefault(
+                                (holder.lock_id, ref.lock_id), node
+                            )
+        elif isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                summary.assigns.append((node.targets[0].id, node.value))
+            for target in node.targets:
+                root = _subscript_root(target)
+                if isinstance(target, ast.Subscript) and root in params:
+                    summary.param_writes.add(root)
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id in params
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is True
+                ):
+                    summary.param_writes.add(target.value.value.id)
+        elif isinstance(node, ast.AugAssign):
+            root = _subscript_root(node.target)
+            if root in params:
+                summary.param_writes.add(root)
+            if isinstance(node.target, ast.Name):
+                summary.assigns.append((node.target.id, node))
+        elif isinstance(node, ast.Return) and node.value is not None:
+            summary.returns.append(node.value)
+        elif isinstance(node, ast.Assert):
+            param = _f64_assert_param(node, params)
+            if param is not None:
+                summary.f64_assert_params.add(param)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    # Parameter-mutating method calls need the call nodes, which the main
+    # visitor also records; detect them in the same pass via calls below.
+    for stmt in finfo.node.body:
+        visit(stmt, ())
+
+    for site in summary.calls:
+        func = site.node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            receiver = func.value.id
+            if receiver in params:
+                if func.attr in _INPLACE_METHODS:
+                    summary.param_writes.add(receiver)
+                elif func.attr == "setflags" and any(
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in site.node.keywords
+                ):
+                    summary.param_writes.add(receiver)
+        parts = _dotted_parts(func)
+        if (
+            parts is not None
+            and parts[-1] == "copyto"
+            and parts[0] in ("np", "numpy")
+            and site.node.args
+            and isinstance(site.node.args[0], ast.Name)
+            and site.node.args[0].id in params
+        ):
+            summary.param_writes.add(site.node.args[0].id)
+
+    cached[finfo.qname] = summary
+    return summary
+
+
+def _f64_assert_param(node: ast.Assert, params: "set[str]") -> "str | None":
+    """Parameter name asserted as float64: ``assert p.dtype == np.float64``."""
+    test = node.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    if not isinstance(test.ops[0], ast.Eq):
+        return None
+    for lhs, rhs in ((test.left, test.comparators[0]), (test.comparators[0], test.left)):
+        if (
+            isinstance(lhs, ast.Attribute)
+            and lhs.attr == "dtype"
+            and isinstance(lhs.value, ast.Name)
+            and lhs.value.id in params
+            and _is_dtype_const(rhs, _DTYPE_F64)
+        ):
+            return lhs.value.id
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Fixpoint propagation
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BlockFact:
+    """Why a function (transitively) blocks, with a witness call chain."""
+
+    desc: str
+    site: str  # "path:line" of the ultimately blocking operation
+    chain: "tuple[str, ...]"  # callee qnames from this function to the site
+
+
+@dataclass(frozen=True)
+class AcqFact:
+    """A lock a function (transitively) acquires, with a witness chain."""
+
+    ref: LockRef
+    site: str  # "path:line" of the acquisition
+    chain: "tuple[str, ...]"
+
+
+@dataclass
+class ProjectSummaries:
+    """Closed (fixpoint) facts for every function in the project."""
+
+    summaries: "dict[str, FunctionSummary]"
+    blocking: "dict[str, BlockFact]"
+    acquires: "dict[str, dict[str, AcqFact]]"
+    writes: "dict[str, set[str]]"
+    f64_params: "dict[str, set[str]]"
+    returns_f32: "set[str]"
+
+    def summary(self, qname: str) -> "FunctionSummary | None":
+        return self.summaries.get(qname)
+
+
+def _arg_param_pairs(
+    site: CallSite,
+) -> "Iterable[tuple[ast.expr, str]]":
+    """``(argument expression, callee parameter name)`` for one call."""
+    callee = site.callee
+    if callee is None:
+        return
+    params = callee.func.params
+    for index, arg in enumerate(site.node.args):
+        if isinstance(arg, ast.Starred):
+            break  # positions past *args are unknowable
+        mapped = index + callee.arg_offset
+        if mapped < len(params):
+            yield arg, params[mapped]
+    for kw in site.node.keywords:
+        if kw.arg is not None and kw.arg in params:
+            yield kw.value, kw.arg
+
+
+def propagate(project: Project) -> ProjectSummaries:
+    """Close the per-function facts over the resolved call graph.
+
+    Worklist fixpoint: every closure here is monotone over finite sets, so
+    iteration terminates; witness chains record the first derivation seen,
+    which the sorted iteration order makes deterministic.
+    """
+    summaries = {
+        qname: scan_function(project, finfo)
+        for qname, finfo in sorted(project.functions.items())
+    }
+
+    # --- may-block closure -------------------------------------------- #
+    blocking: "dict[str, BlockFact]" = {}
+    for qname, summary in summaries.items():
+        if summary.blocking:
+            node, desc = summary.blocking[0]
+            site = f"{summary.info.ctx.path}:{getattr(node, 'lineno', 1)}"
+            blocking[qname] = BlockFact(desc=desc, site=site, chain=())
+    changed = True
+    while changed:
+        changed = False
+        for qname, summary in summaries.items():
+            if qname in blocking:
+                continue
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                fact = blocking.get(call.callee.func.qname)
+                if fact is not None:
+                    blocking[qname] = BlockFact(
+                        desc=fact.desc,
+                        site=fact.site,
+                        chain=(call.callee.func.qname,) + fact.chain,
+                    )
+                    changed = True
+                    break
+
+    # --- may-acquire closure ------------------------------------------- #
+    acquires: "dict[str, dict[str, AcqFact]]" = {}
+    for qname, summary in summaries.items():
+        acquires[qname] = {
+            lock_id: AcqFact(ref=ref, site=site, chain=())
+            for lock_id, (ref, site) in summary.locks.items()
+        }
+    changed = True
+    while changed:
+        changed = False
+        for qname, summary in summaries.items():
+            mine = acquires[qname]
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                for lock_id, fact in acquires.get(call.callee.func.qname, {}).items():
+                    if lock_id not in mine:
+                        mine[lock_id] = AcqFact(
+                            ref=fact.ref,
+                            site=fact.site,
+                            chain=(call.callee.func.qname,) + fact.chain,
+                        )
+                        changed = True
+
+    # --- writes-parameter closure -------------------------------------- #
+    writes = {qname: set(summary.param_writes) for qname, summary in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qname, summary in summaries.items():
+            params = set(summary.info.params)
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                callee_writes = writes.get(call.callee.func.qname, set())
+                for arg, param in _arg_param_pairs(call):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in params
+                        and param in callee_writes
+                        and arg.id not in writes[qname]
+                    ):
+                        writes[qname].add(arg.id)
+                        changed = True
+
+    # --- float64-contract closure -------------------------------------- #
+    f64_params = {
+        qname: set(summary.f64_assert_params) for qname, summary in summaries.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qname, summary in summaries.items():
+            params = set(summary.info.params)
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                callee_f64 = f64_params.get(call.callee.func.qname, set())
+                for arg, param in _arg_param_pairs(call):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in params
+                        and param in callee_f64
+                        and arg.id not in f64_params[qname]
+                    ):
+                        f64_params[qname].add(arg.id)
+                        changed = True
+
+    # --- returns-float32 closure ---------------------------------------- #
+    returns_f32: "set[str]" = set()
+    changed = True
+    while changed:
+        changed = False
+        for qname, summary in summaries.items():
+            if qname in returns_f32:
+                continue
+            f32 = f32_locals(summary, returns_f32)
+            if any(
+                expr_is_f32(expr, f32, summary, returns_f32)
+                for expr in summary.returns
+            ):
+                returns_f32.add(qname)
+                changed = True
+
+    return ProjectSummaries(
+        summaries=summaries,
+        blocking=blocking,
+        acquires=acquires,
+        writes=writes,
+        f64_params=f64_params,
+        returns_f32=returns_f32,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# float32 provenance
+# --------------------------------------------------------------------------- #
+
+
+def _callee_map(summary: FunctionSummary) -> "dict[int, str]":
+    return {
+        id(site.node): site.callee.func.qname
+        for site in summary.calls
+        if site.callee is not None
+    }
+
+
+def expr_is_f32(
+    expr: ast.AST,
+    f32_names: "set[str]",
+    summary: FunctionSummary,
+    returns_f32: "set[str]",
+    _callees: "dict[int, str] | None" = None,
+) -> bool:
+    """Whether ``expr`` carries float32 provenance.
+
+    float32 originates at ``.astype(float32)``, ``np.float32(...)``, or an
+    array constructor with ``dtype=float32``, and flows through names,
+    arithmetic (a product with one float32 operand carries float32
+    *precision* even where numpy upcasts the result dtype), and calls to
+    project functions whose returns carry it.  An explicit
+    ``.astype(float64)`` is the sanctioned re-entry point and clears the
+    taint — deliberate upcasts read as decisions, not accidents.
+    """
+    callees = _callees if _callees is not None else _callee_map(summary)
+    recurse: "Callable[[ast.AST], bool]" = lambda e: expr_is_f32(
+        e, f32_names, summary, returns_f32, callees
+    )
+    if isinstance(expr, ast.Name):
+        return expr.id in f32_names
+    if isinstance(expr, ast.Call):
+        astype = _astype_dtype(expr)
+        if astype == _DTYPE_F32:
+            return True
+        if astype == _DTYPE_F64:
+            return False
+        parts = _dotted_parts(expr.func)
+        if (
+            parts is not None
+            and parts[0] in ("np", "numpy")
+            and parts[-1] == _DTYPE_F32
+        ):
+            return True
+        if any(
+            kw.arg == "dtype" and _is_dtype_const(kw.value, _DTYPE_F32)
+            for kw in expr.keywords
+        ):
+            return True
+        qname = callees.get(id(expr))
+        if qname is not None and qname in returns_f32:
+            return True
+        return False
+    if isinstance(expr, ast.BinOp):
+        return recurse(expr.left) or recurse(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return recurse(expr.operand)
+    if isinstance(expr, (ast.Subscript, ast.Attribute)):
+        return recurse(expr.value)
+    if isinstance(expr, ast.IfExp):
+        return recurse(expr.body) or recurse(expr.orelse)
+    return False
+
+
+def f32_locals(
+    summary: FunctionSummary, returns_f32: "set[str]"
+) -> "set[str]":
+    """Local names with float32 provenance, in assignment order."""
+    callees = _callee_map(summary)
+    names: "set[str]" = set()
+    for name, expr in summary.assigns:
+        if isinstance(expr, ast.AugAssign):
+            if name in names or expr_is_f32(
+                expr.value, names, summary, returns_f32, callees
+            ):
+                names.add(name)
+        elif expr_is_f32(expr, names, summary, returns_f32, callees):
+            names.add(name)
+        elif name in names:
+            names.discard(name)  # rebound to a non-f32 value
+    return names
+
+
+# --------------------------------------------------------------------------- #
+# Lock-order edge extraction (shared with the runtime sanitizer)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One ``held -> acquired`` ordering fact with its source location."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    detail: str
+
+
+def lock_order_edges(
+    project: Project, summaries: ProjectSummaries
+) -> "dict[tuple[str, str], LockEdge]":
+    """Every statically derivable ``held -> acquired`` lock-order edge.
+
+    Direct edges come from nested ``with`` blocks in one function;
+    call-mediated edges arise when a function holds a lock at a call whose
+    (transitive) callee acquires another — the shape no intra-function
+    rule can see.  First derivation wins per edge, deterministically.
+    """
+    edges: "dict[tuple[str, str], LockEdge]" = {}
+    for qname in sorted(summaries.summaries):
+        summary = summaries.summaries[qname]
+        path = summary.info.ctx.path
+        for (held, acquired), node in sorted(
+            summary.lock_edges.items(), key=lambda kv: kv[1].lineno
+        ):
+            edges.setdefault(
+                (held, acquired),
+                LockEdge(
+                    held=held,
+                    acquired=acquired,
+                    path=path,
+                    line=getattr(node, "lineno", 1),
+                    detail=f"{qname} acquires {acquired!r} while holding {held!r}",
+                ),
+            )
+        for call in summary.calls:
+            if call.callee is None or not call.held:
+                continue
+            callee_q = call.callee.func.qname
+            for lock_id, fact in sorted(summaries.acquires.get(callee_q, {}).items()):
+                for holder in call.held:
+                    if holder.lock_id == lock_id:
+                        continue
+                    via = " -> ".join((callee_q,) + fact.chain)
+                    edges.setdefault(
+                        (holder.lock_id, lock_id),
+                        LockEdge(
+                            held=holder.lock_id,
+                            acquired=lock_id,
+                            path=path,
+                            line=getattr(call.node, "lineno", 1),
+                            detail=(
+                                f"{qname} holds {holder.lock_id!r} while calling "
+                                f"{via}, which acquires {lock_id!r} at {fact.site}"
+                            ),
+                        ),
+                    )
+    return edges
+
+
+def static_site_edges(paths: "Iterable[str]") -> "dict[tuple[str, str], str]":
+    """Lock-order edges keyed by *creation site*, for the runtime sanitizer.
+
+    The sanitizer identifies locks by the ``file:line`` of their
+    ``threading.Lock()`` factory call; this projects the static edge set
+    onto those sites (absolute paths) so runtime-observed and statically
+    derived orderings can be merged into one graph.  Edges whose lock
+    identities have no observed factory assignment are dropped — without a
+    creation site there is nothing to unify on.
+    """
+    project = Project.from_paths(paths)
+    summaries = propagate(project)
+    site_of: "dict[str, str]" = {}
+    for per_fn in summaries.acquires.values():
+        for lock_id, fact in per_fn.items():
+            if fact.ref.site is not None:
+                site_of.setdefault(lock_id, fact.ref.site)
+    result: "dict[tuple[str, str], str]" = {}
+    for (held, acquired), edge in lock_order_edges(project, summaries).items():
+        held_site = site_of.get(held)
+        acq_site = site_of.get(acquired)
+        if held_site is None or acq_site is None:
+            continue
+        held_abs = _abs_site(held_site)
+        acq_abs = _abs_site(acq_site)
+        if held_abs != acq_abs:
+            result.setdefault((held_abs, acq_abs), edge.detail)
+    return result
+
+
+def _abs_site(site: str) -> str:
+    path, _, line = site.rpartition(":")
+    return f"{os.path.abspath(path)}:{line}"

@@ -1,0 +1,10 @@
+"""Known-bad: waivers that suppress nothing on their line."""
+
+import threading
+
+_lock = threading.Lock()  # repro: ignore[lock-reentry] left behind by a refactor
+
+
+def snapshot(store):
+    with _lock:  # repro: ignore
+        return dict(store)

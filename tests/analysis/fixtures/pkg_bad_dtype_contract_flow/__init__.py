@@ -1,0 +1,1 @@
+"""Known-bad package: float32 provenance reaches a float64-asserting engine."""

@@ -1,0 +1,6 @@
+from . import engine64, ops32
+
+
+def run(vec):
+    small = ops32.compress(vec)
+    return engine64.score(small)

@@ -1,0 +1,1 @@
+"""Known-bad package: lock held across a call that blocks two hops away."""

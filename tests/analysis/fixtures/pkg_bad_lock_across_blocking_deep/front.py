@@ -1,0 +1,11 @@
+import threading
+
+from . import helpers
+
+state_lock = threading.Lock()
+
+
+def refresh(store):
+    with state_lock:
+        helpers.settle()
+        return len(store)

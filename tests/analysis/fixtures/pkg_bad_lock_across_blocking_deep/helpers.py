@@ -1,0 +1,5 @@
+import time
+
+
+def settle():
+    time.sleep(0.05)

@@ -1,0 +1,1 @@
+"""Known-bad package: cross-module lock acquisition-order inversion."""

@@ -1,0 +1,13 @@
+"""Holds the allocation lock across a call that takes the flush lock."""
+
+import threading
+
+from . import flush
+
+alloc_lock = threading.Lock()
+
+
+def reserve(n):
+    with alloc_lock:
+        flush.flush_all()
+        return n

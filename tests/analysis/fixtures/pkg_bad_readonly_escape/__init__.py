@@ -1,0 +1,1 @@
+"""Known-bad package: published read-only array escapes into a mutator."""

@@ -1,0 +1,1 @@
+"""Good twin: the compressed value is explicitly upcast before the engine."""

@@ -1,0 +1,8 @@
+import numpy as np
+
+from . import engine64, ops32
+
+
+def run(vec):
+    small = ops32.compress(vec).astype(np.float64)
+    return engine64.score(small)

@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def score(vec):
+    assert vec.dtype == np.float64
+    return float(vec.sum())

@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def compress(vec):
+    return vec.astype(np.float32)

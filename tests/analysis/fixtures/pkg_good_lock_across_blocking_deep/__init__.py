@@ -1,0 +1,1 @@
+"""Good twin: the blocking helper runs outside the critical section."""

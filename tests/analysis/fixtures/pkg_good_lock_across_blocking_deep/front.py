@@ -1,0 +1,12 @@
+import threading
+
+from . import helpers
+
+state_lock = threading.Lock()
+
+
+def refresh(store):
+    with state_lock:
+        size = len(store)
+    helpers.settle()
+    return size

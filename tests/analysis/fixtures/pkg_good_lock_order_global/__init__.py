@@ -1,0 +1,1 @@
+"""Good twin: every path acquires alloc_lock before flush_lock."""

@@ -1,0 +1,11 @@
+import threading
+
+from . import flush
+
+alloc_lock = threading.Lock()
+
+
+def reserve(n):
+    with alloc_lock:
+        flush.flush_all()
+        return n

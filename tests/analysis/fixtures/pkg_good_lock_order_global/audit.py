@@ -1,0 +1,9 @@
+"""Same audit, same locks — acquired in the canonical alloc-then-flush order."""
+
+from . import alloc, flush
+
+
+def audit():
+    with alloc.alloc_lock:
+        with flush.flush_lock:
+            return 1

@@ -1,0 +1,1 @@
+"""Good twin: the mutator gets a copy; the published array stays frozen."""

@@ -1,0 +1,9 @@
+import numpy as np
+
+from . import sinkmod
+
+def build_table():
+    table = np.zeros(8)
+    table.setflags(write=False)
+    sinkmod.accumulate(table.copy())
+    return table

@@ -1,0 +1,3 @@
+def accumulate(buf):
+    buf[0] += 1.0
+    return buf

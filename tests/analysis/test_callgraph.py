@@ -1,0 +1,193 @@
+"""Call-graph construction: module naming, import binding, dispatch forms.
+
+Every test builds a throwaway package on disk and asserts which edges the
+resolver proves — and, just as deliberately, which calls it refuses to
+guess about (conservatism is the property the project rules lean on: a
+wrong edge would turn into a wrong finding).
+"""
+
+import textwrap
+
+from repro.analysis.callgraph import Project, module_name_for
+
+
+def _package(tmp_path, name, **modules):
+    pkg = tmp_path / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text(
+        modules.pop("__init__", ""), encoding="utf-8"
+    )
+    for modname, source in modules.items():
+        (pkg / f"{modname}.py").write_text(
+            textwrap.dedent(source), encoding="utf-8"
+        )
+    return pkg
+
+
+def _edges(*paths):
+    project = Project.from_paths([str(p) for p in paths])
+    return {(caller, callee) for caller, callee, _ in project.call_edges()}
+
+
+class TestModuleNaming:
+    def test_package_walk(self, tmp_path):
+        pkg = _package(tmp_path, "outer")
+        inner = pkg / "inner"
+        inner.mkdir()
+        (inner / "__init__.py").write_text("", encoding="utf-8")
+        (inner / "leaf.py").write_text("", encoding="utf-8")
+        assert module_name_for(str(inner / "leaf.py")) == "outer.inner.leaf"
+        assert module_name_for(str(inner / "__init__.py")) == "outer.inner"
+
+    def test_bare_module_outside_any_package(self, tmp_path):
+        target = tmp_path / "standalone.py"
+        target.write_text("", encoding="utf-8")
+        assert module_name_for(str(target)) == "standalone"
+
+
+class TestResolution:
+    def test_local_and_cross_module_calls(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "web",
+            util="""
+            def helper():
+                return 1
+
+            def outer():
+                return helper()
+            """,
+            app="""
+            from . import util
+
+            def run():
+                return util.outer()
+            """,
+        )
+        assert _edges(pkg) == {
+            ("web.util.outer", "web.util.helper"),
+            ("web.app.run", "web.util.outer"),
+        }
+
+    def test_from_import_symbol_and_alias(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "alias",
+            core="""
+            def compute():
+                return 0
+            """,
+            uses="""
+            from .core import compute as crunch
+            from . import core as c
+
+            def one():
+                return crunch()
+
+            def two():
+                return c.compute()
+            """,
+        )
+        assert _edges(pkg) == {
+            ("alias.uses.one", "alias.core.compute"),
+            ("alias.uses.two", "alias.core.compute"),
+        }
+
+    def test_self_method_dispatch_including_base_class(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "disp",
+            base="""
+            class Base:
+                def shared(self):
+                    return 1
+            """,
+            child="""
+            from .base import Base
+
+            class Child(Base):
+                def go(self):
+                    return self.shared()
+            """,
+        )
+        assert ("disp.child.Child.go", "disp.base.Base.shared") in _edges(pkg)
+
+    def test_class_attr_and_local_instance_dispatch(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "inst",
+            worker="""
+            class Worker:
+                def run(self):
+                    return 1
+            """,
+            owner="""
+            from .worker import Worker
+
+            class Owner:
+                def __init__(self):
+                    self.helper = Worker()
+
+                def drive(self):
+                    return self.helper.run()
+
+            def standalone():
+                w = Worker()
+                return w.run()
+            """,
+        )
+        edges = _edges(pkg)
+        assert ("inst.owner.Owner.drive", "inst.worker.Worker.run") in edges
+        assert ("inst.owner.standalone", "inst.worker.Worker.run") in edges
+        # Constructing Worker() is itself a resolved call to __init__ only
+        # when one exists; Worker has none, so no constructor edge appears.
+        assert not any(callee.endswith("__init__") for _, callee in edges)
+
+    def test_unknown_targets_resolve_to_nothing(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "dark",
+            mystery="""
+            import os
+
+            def go(callback, registry):
+                callback()
+                registry["k"]()
+                os.getpid()
+                return unknown_global()
+            """,
+        )
+        assert _edges(pkg) == set()
+
+    def test_unparseable_file_is_skipped_not_fatal(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "broken",
+            fine="""
+            def ok():
+                return 1
+            """,
+            busted="""
+            def nope(:
+            """,
+        )
+        project = Project.from_paths([str(pkg)])
+        assert "broken.fine.ok" in project.functions
+
+
+class TestDot:
+    def test_to_dot_lists_nodes_and_edges(self, tmp_path):
+        pkg = _package(
+            tmp_path,
+            "dotty",
+            mod="""
+            def a():
+                return b()
+
+            def b():
+                return 0
+            """,
+        )
+        dot = Project.from_paths([str(pkg)]).to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert '"dotty.mod.a" -> "dotty.mod.b";' in dot

@@ -83,6 +83,78 @@ class TestOutput:
         assert "unknown rule 'not-a-rule'" in captured.err
 
 
+class TestProjectWorkflows:
+    def test_json_report_carries_warnings_and_elapsed(self, tmp_path, capsys):
+        target = tmp_path / "module.py"
+        target.write_text("x = 1  # repro: ignore[not-a-rule]\n", encoding="utf-8")
+        code = main(["--format", "json", str(target)])
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert code == 0
+        assert report["warnings"] == [
+            {"path": str(target), "line": 1, "rule": "not-a-rule", "kind": "unknown-waiver"}
+        ]
+        assert report["elapsed_seconds"] >= 0
+        # Structured output means no stderr duplication is needed, but the
+        # warning must never be silently dropped from the artifact.
+        assert "not-a-rule" not in captured.err
+
+    def test_sarif_format_emits_valid_log(self, capsys):
+        code = main(
+            ["--format", "sarif", str(FIXTURES / "pkg_bad_lock_order_global")]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["version"] == "2.1.0"
+        results = report["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"lock-order-global"}
+
+    def test_baseline_round_trip_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        bad = str(FIXTURES / "pkg_bad_readonly_escape")
+        assert main(["--write-baseline", str(baseline), bad]) == 0
+        code = main(["--baseline", str(baseline), bad])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baselined" in out
+
+    def test_new_finding_escapes_the_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        good = str(FIXTURES / "pkg_good_readonly_escape")
+        bad = str(FIXTURES / "pkg_bad_readonly_escape")
+        assert main(["--write-baseline", str(baseline), good]) == 0
+        assert main(["--baseline", str(baseline), bad]) == 1
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "nope.json"
+        baseline.write_text("{", encoding="utf-8")
+        code = main(["--baseline", str(baseline), str(FIXTURES)])
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_graph_dot_prints_call_graph(self, capsys):
+        code = main(["--graph", "dot", str(FIXTURES / "pkg_bad_lock_order_global")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph callgraph {")
+        assert "reserve" in out and "flush_all" in out
+
+    def test_stale_waiver_fires_and_opt_out_works(self, capsys):
+        bad = str(FIXTURES / "bad_unused_waiver.py")
+        assert main([bad]) == 1
+        assert "unused-waiver" in capsys.readouterr().out
+        assert main(["--no-check-waivers", bad]) == 0
+
+    def test_max_seconds_budget_failure(self, capsys):
+        code = main(["--max-seconds", "0", str(FIXTURES / "good_lock_reentry.py")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--max-seconds budget" in captured.err
+
+    def test_max_seconds_budget_pass(self):
+        assert main(["--max-seconds", "600", str(FIXTURES / "good_lock_reentry.py")]) == 0
+
+
 class TestModuleEntryPoint:
     @pytest.mark.parametrize(
         "target, expected",

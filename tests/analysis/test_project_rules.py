@@ -1,0 +1,93 @@
+"""Project-scoped rules proven on committed multi-module fixture packages.
+
+Same contract as the module-rule fixture pairs, lifted to whole packages:
+``pkg_bad_<stem>/`` fires exactly its rule, ``pkg_good_<stem>/`` is clean,
+and a waiver on each reported line silences the report (the suppression
+leg copies the bad package and edits the copy, so the three legs share one
+source of truth).
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis import analyze_project
+from test_rules import PROJECT_RULE_FIXTURES
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _rules_fired(*paths, **kwargs):
+    analysis = analyze_project([str(p) for p in paths], **kwargs)
+    return analysis, {finding.rule for finding in analysis.findings}
+
+
+@pytest.mark.parametrize("rule_name", sorted(PROJECT_RULE_FIXTURES))
+class TestFixturePackages:
+    def test_bad_package_fires_exactly_this_rule(self, rule_name):
+        bad = FIXTURES / f"pkg_bad_{PROJECT_RULE_FIXTURES[rule_name]}"
+        analysis, fired = _rules_fired(bad)
+        assert analysis.findings, f"bad package for {rule_name} produced nothing"
+        assert fired == {rule_name}
+
+    def test_good_package_is_clean(self, rule_name):
+        good = FIXTURES / f"pkg_good_{PROJECT_RULE_FIXTURES[rule_name]}"
+        analysis, _ = _rules_fired(good)
+        assert analysis.findings == [], [
+            finding.render() for finding in analysis.findings
+        ]
+
+    def test_suppression_comment_silences_each_finding(self, rule_name, tmp_path):
+        stem = PROJECT_RULE_FIXTURES[rule_name]
+        work = tmp_path / f"pkg_bad_{stem}"
+        shutil.copytree(FIXTURES / f"pkg_bad_{stem}", work)
+        analysis, _ = _rules_fired(work)
+        for finding in analysis.findings:
+            target = pathlib.Path(finding.path)
+            lines = target.read_text(encoding="utf-8").splitlines()
+            lines[finding.line - 1] += f"  # repro: ignore[{rule_name}] fixture"
+            target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        suppressed, _ = _rules_fired(work)
+        assert suppressed.findings == [], [
+            finding.render() for finding in suppressed.findings
+        ]
+
+    def test_unrelated_known_waiver_does_not_silence(self, rule_name, tmp_path):
+        stem = PROJECT_RULE_FIXTURES[rule_name]
+        work = tmp_path / f"pkg_bad_{stem}"
+        shutil.copytree(FIXTURES / f"pkg_bad_{stem}", work)
+        analysis, _ = _rules_fired(work)
+        for finding in analysis.findings:
+            target = pathlib.Path(finding.path)
+            lines = target.read_text(encoding="utf-8").splitlines()
+            lines[finding.line - 1] += "  # repro: ignore[np-random-legacy]"
+            target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        still, fired = _rules_fired(work)
+        # The original finding survives AND the pointless waiver is itself
+        # reported as stale.
+        assert fired == {rule_name, "unused-waiver"}
+
+
+class TestSeededInversion:
+    """The acceptance scenario: lock A held in one module while a callee in
+    another takes B; a third module takes B then A directly."""
+
+    def test_cross_module_cycle_names_both_directions(self):
+        bad = FIXTURES / "pkg_bad_lock_order_global"
+        analysis, _ = _rules_fired(bad)
+        assert len(analysis.findings) == 1
+        message = analysis.findings[0].message
+        assert "alloc.alloc_lock" in message
+        assert "flush.flush_lock" in message
+        # Forward direction is call-mediated (reserve -> flush_all), the
+        # reverse is a direct nested acquisition in audit.
+        assert "while calling" in message
+        assert "audit" in message
+
+    def test_all_bad_packages_fire_together(self):
+        packages = [
+            FIXTURES / f"pkg_bad_{stem}" for stem in PROJECT_RULE_FIXTURES.values()
+        ]
+        _, fired = _rules_fired(*packages)
+        assert fired == set(PROJECT_RULE_FIXTURES)

@@ -123,6 +123,87 @@ class TestLockOrder:
             assert not thread.is_alive()
 
 
+class TestUnifiedCycles:
+    """Static edges merged into the runtime graph catch half-seen inversions."""
+
+    def _sites(self, recorder, lock_a, lock_b):
+        import os
+
+        sites = {
+            uid: f"{os.path.abspath(site.rsplit(':', 1)[0])}:{site.rsplit(':', 1)[1]}"
+            for uid, site in sanitizer._lock_sites.items()
+        }
+        return sites[lock_a._uid], sites[lock_b._uid]
+
+    def test_runtime_forward_plus_static_reverse_is_a_cycle(self, recorder):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        _run_in_thread(forward)
+        site_a, site_b = self._sites(recorder, lock_a, lock_b)
+        static_edges = {(site_b, site_a): "mod.reverse acquires a while holding b"}
+        cycles = recorder.find_unified_cycles(static_edges)
+        assert len(cycles) == 1
+        assert "static/runtime lock-order cycle" in cycles[0]
+        assert "mod.reverse" in cycles[0]
+        # The runtime-only view sees no cycle: exactly the bug class the
+        # unified check exists for.
+        assert recorder.find_lock_cycles() == []
+
+    def test_no_static_edges_no_unified_cycle(self, recorder):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        _run_in_thread(forward)
+        assert recorder.find_unified_cycles({}) == []
+
+    def test_pure_runtime_cycle_is_not_rereported(self, recorder):
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        _run_in_thread(forward)
+        _run_in_thread(backward)
+        assert recorder.find_lock_cycles()  # find_lock_cycles owns this one
+        site_a, site_b = self._sites(recorder, lock_a, lock_b)
+        # Static derivation duplicating an already-observed runtime edge
+        # adds no static-only hop, so the unified check stays quiet.
+        static_edges = {(site_b, site_a): "duplicate of the observed edge"}
+        assert recorder.find_unified_cycles(static_edges) == []
+
+    def test_same_site_aliasing_is_ignored(self, recorder):
+        locks = []
+        for _ in range(2):
+            locks.append(threading.Lock())  # both born at this line
+
+        def nest():
+            with locks[0]:
+                with locks[1]:
+                    pass
+
+        _run_in_thread(nest)
+        assert recorder.find_unified_cycles({}) == []
+
+
 class TestPublishTripwire:
     def test_write_after_publish_is_reported_and_refrozen(self, recorder):
         array = np.zeros(8)

@@ -1,0 +1,77 @@
+"""SARIF output: schema validity, ruleIndex integrity, level mapping."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import all_rules, analyze_project
+from repro.analysis.analyzer import WaiverWarning
+from repro.analysis.sarif import sarif_report
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+SCHEMA = pathlib.Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json"
+
+
+def _report_for(*paths, warnings=()):
+    analysis = analyze_project([str(p) for p in paths])
+    return sarif_report(
+        analysis.findings, all_rules(), list(warnings) + analysis.warnings
+    )
+
+
+class TestSchemaValidity:
+    def test_report_validates_against_sarif_2_1_0(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SCHEMA.read_text(encoding="utf-8"))
+        report = _report_for(
+            FIXTURES / "pkg_bad_lock_order_global",
+            FIXTURES / "bad_np_random_legacy.py",
+            warnings=[WaiverWarning("x.py", 3, "ghost-rule")],
+        )
+        jsonschema.validate(report, schema)
+
+    def test_empty_report_also_validates(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SCHEMA.read_text(encoding="utf-8"))
+        jsonschema.validate(sarif_report([], all_rules()), schema)
+
+
+class TestStructure:
+    def test_every_result_rule_index_points_at_its_descriptor(self):
+        report = _report_for(
+            FIXTURES / "pkg_bad_dtype_contract_flow",
+            warnings=[WaiverWarning("x.py", 1, "nope")],
+        )
+        run = report["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_findings_are_errors_warnings_are_warnings(self):
+        report = _report_for(
+            FIXTURES / "bad_unused_waiver.py",
+            warnings=[WaiverWarning("x.py", 1, "nope")],
+        )
+        levels = {
+            result["ruleId"]: result["level"]
+            for result in report["runs"][0]["results"]
+        }
+        assert levels["unused-waiver"] == "error"
+        assert levels["unknown-waiver"] == "warning"
+
+    def test_registered_rules_all_have_descriptors_with_lineage(self):
+        report = sarif_report([], all_rules())
+        rules = report["runs"][0]["tool"]["driver"]["rules"]
+        assert len(rules) == len(all_rules())
+        for descriptor in rules:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+
+    def test_locations_carry_uri_and_region(self):
+        report = _report_for(FIXTURES / "pkg_bad_readonly_escape")
+        result = report["runs"][0]["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("cachemod.py")
+        assert location["region"]["startLine"] >= 1
