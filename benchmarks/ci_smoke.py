@@ -2,7 +2,7 @@
 
 Merges the metrics the smoke benchmarks wrote via ``report_json``
 (``benchmarks/results/batch_engine.json``, ``serving.json``,
-``parallel.json`` and ``kernels.json``) into
+``parallel.json``, ``threaded.json`` and ``kernels.json``) into
 ``benchmarks/results/ci_smoke.json``, which the CI workflow uploads as an
 artifact — giving every commit a comparable record of the perf trajectory
 (batch speedup, walk throughput, matmat kernel timings, cache hit-rate,
@@ -65,6 +65,13 @@ def main() -> int:
         ),
         "parallel": _metrics(
             "parallel", lambda: bench_parallel.run_parallel(*bench_parallel._setup())
+        ),
+        # The threaded leg records the PR-9 single-query levers: the
+        # threaded kernel's threads-vs-walltime table (bit-equality against
+        # scipy asserted in-bench) and the row-sharded single-query solve.
+        "threaded": _metrics(
+            "threaded",
+            lambda: bench_parallel.run_threaded(*bench_parallel._threaded_setup()),
         ),
         # The gateway leg records the serving-path health numbers per commit:
         # GDSF-vs-LRU hit rates, admission shed rate, queue-depth bound, and

@@ -304,6 +304,52 @@ def power_iteration_batch(
     return x
 
 
+def _solve_batch_parallel(
+    graph: DiGraph,
+    queries: Sequence[Query],
+    transpose: bool,
+    alpha: float,
+    tol: float,
+    max_iter: int,
+    warn_on_nonconvergence: bool,
+    method: str,
+    workers: "int | None",
+) -> "np.ndarray | None":
+    """Parallel dispatch shared by :func:`frank_batch` / :func:`trank_batch`.
+
+    Tries the column-sharded pool first (big batches), then row-sharded
+    per-column sweeps (small ``method="power"`` batches on big graphs —
+    both bit-exact for any worker count).  Returns ``None`` when neither
+    pays; ``method="auto"`` small batches record why they stay sequential:
+    the Chebyshev stopping heuristics are batch-shape-dependent, so row
+    sharding them could change what a cached column converges to.
+    """
+    from repro.parallel import rows as _rows
+    from repro.parallel.pool import maybe_solve_batch_parallel
+
+    result = maybe_solve_batch_parallel(
+        graph, queries, transpose, alpha, tol, max_iter,
+        warn_on_nonconvergence, method, workers,
+    )
+    if result is not None:
+        return result
+    if method != "power":
+        _rows.record_route(
+            _rows.RouteReport(
+                False,
+                0,
+                f"batch of {len(queries)} is below the column-shard crossover "
+                "and method='auto' stays sequential (row-sharding the "
+                "accelerated path is not bit-stable; use method='power')",
+            )
+        )
+        return None
+    return _rows.maybe_solve_small_batch_rowsharded(
+        graph, queries, transpose, alpha, tol, max_iter,
+        warn_on_nonconvergence, workers,
+    )
+
+
 def frank_batch(
     graph: DiGraph,
     queries: Sequence[Query],
@@ -320,16 +366,18 @@ def frank_batch(
     verified ``tol``; bit-exact with ``method="power"``).
 
     ``workers`` shards the columns across the :mod:`repro.parallel` process
-    pool (the operator is shared zero-copy); small batches automatically
-    fall back to this sequential path — see
-    :func:`repro.parallel.effective_workers`.  Results are independent of
+    pool (the operator is shared zero-copy).  Batches too small to
+    column-shard (see :func:`repro.parallel.effective_workers`) row-shard
+    each column's sweeps instead when ``method="power"`` and the graph is
+    big enough (:func:`repro.parallel.rows.plan_row_shards`), so a lone
+    query with ``workers=4`` still saturates the host; otherwise the
+    sequential path runs and the reason is recorded in
+    :func:`repro.parallel.rows.active_route`.  Results are independent of
     the worker count (bit-exact for ``method="power"``, within the verified
     residual ``tol`` for ``method="auto"``).
     """
     if workers is not None:
-        from repro.parallel.pool import maybe_solve_batch_parallel
-
-        result = maybe_solve_batch_parallel(
+        result = _solve_batch_parallel(
             graph, queries, True, alpha, tol, max_iter,
             warn_on_nonconvergence, method, workers,
         )
@@ -361,12 +409,11 @@ def trank_batch(
 
     Column ``j`` equals ``trank_vector(graph, queries[j], alpha)`` (to the
     verified ``tol``; bit-exact with ``method="power"``).  ``workers``
-    behaves exactly as in :func:`frank_batch`.
+    behaves exactly as in :func:`frank_batch` (column shards for big
+    batches, row-sharded sweeps for small ``method="power"`` ones).
     """
     if workers is not None:
-        from repro.parallel.pool import maybe_solve_batch_parallel
-
-        result = maybe_solve_batch_parallel(
+        result = _solve_batch_parallel(
             graph, queries, False, alpha, tol, max_iter,
             warn_on_nonconvergence, method, workers,
         )

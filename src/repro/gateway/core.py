@@ -99,6 +99,13 @@ class RankGateway:
         (warming it exactly like a batcher miss) and match the batcher path
         bit-for-bit.  Cached columns feed the push as zero-error states, so
         a warm cache makes the fast path cheaper, not divergent.
+    workers:
+        Worker-process count for cache-miss solves (forwarded to the
+        default-built :class:`ColumnCache`; ignored when ``cache`` is
+        supplied).  Large miss batches column-shard across the
+        :mod:`repro.parallel` pool; small ``method="power"`` batches —
+        including a single cold query — row-shard each column's sweeps
+        instead, with bit-identical results either way.
     clock:
         Injectable monotonic clock shared by admission and stats (tests).
 
@@ -119,6 +126,7 @@ class RankGateway:
         beta: float = DEFAULT_BETA,
         local_topk: bool = False,
         frequency_half_life: float = 30.0,
+        workers: "int | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_lanes < 1:
@@ -128,7 +136,12 @@ class RankGateway:
         if not graphs:
             raise ValueError("at least one graph must be registered")
         self._graphs: "dict[str, DiGraph]" = dict(graphs)
-        self.cache = cache if cache is not None else ColumnCache()
+        # workers reaches cache-miss solves through the shared cache: big
+        # miss batches column-shard across the pool, small method="power"
+        # ones row-shard each column's sweeps (repro.parallel.rows), so a
+        # lone cold query no longer pins one core.  Ignored when the caller
+        # supplies a ready cache (configure workers on that cache instead).
+        self.cache = cache if cache is not None else ColumnCache(workers=workers)
         if isinstance(admission, AdmissionController):
             self.admission = admission
         else:

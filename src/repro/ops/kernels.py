@@ -22,6 +22,16 @@ behind a small registry of interchangeable kernels:
 - ``numba`` — the same flat accumulation loop JIT-compiled with numba,
   registered only when numba is importable (it is an optional dependency;
   this container/CI image may not ship it).
+- ``threaded`` — the row-parallel kernel: CSR *rows* are split into
+  nnz-balanced contiguous ranges (computed once from ``indptr`` and cached
+  on the operator like the blocked kernel's slabs) and the ranges run
+  concurrently — through a numba ``prange`` when numba is importable, else
+  through a shared :class:`~concurrent.futures.ThreadPoolExecutor` whose
+  tasks call the GIL-releasing ``csr_matvecs`` on one contiguous row slice
+  each, so the kernel exists on every host.  Each output row is produced by
+  exactly one range with the per-row accumulation order unchanged, so the
+  result is **bit-identical** to ``scipy`` for any thread count or
+  partition.  Thread count: ``REPRO_KERNEL_THREADS`` (default: all cores).
 
 Kernel selection: the ``REPRO_KERNEL`` environment variable or
 :func:`set_kernel`; an unavailable or unknown request falls back to
@@ -33,8 +43,11 @@ Bit-exactness across kernels is asserted by the cross-kernel parity suite
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -107,13 +120,117 @@ _SLAB_TARGET_BYTES = L2_BYTES
 _MIN_SLAB_COLS = 256
 
 
+#: Environment variable selecting the ``threaded`` kernel's thread count
+#: (and the default shard count of :mod:`repro.parallel.rows`).
+KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+
+def kernel_threads() -> int:
+    """Threads the ``threaded`` kernel splits rows across (>= 1).
+
+    ``REPRO_KERNEL_THREADS`` overrides; the default is every core
+    (``os.cpu_count()``).  Re-read on every preparation, so tests and
+    benches can sweep thread counts without rebuilding operators.
+    """
+    env = os.environ.get(KERNEL_THREADS_ENV_VAR, "").strip()
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
 def capabilities() -> dict:
     """Capability flags the kernel registry probed at import."""
     return {
         "csr_matvecs": HAS_CSR_MATVECS,
         "numba": HAS_NUMBA,
         "l2_bytes": L2_BYTES,
+        "kernel_threads": kernel_threads(),
     }
+
+
+def nnz_balanced_ranges(indptr, n_parts: int) -> "list[tuple[int, int]]":
+    """Contiguous row ranges of roughly equal nnz, covering every row.
+
+    The partition of the row-parallel lever: ``threaded``-kernel threads and
+    :mod:`repro.parallel.rows` shards each take one contiguous range, so a
+    hub-heavy graph (BibNet degree distributions are Zipf-ish) still spreads
+    its nonzeros evenly instead of handing one thread all the hot rows.
+    Cut points come from ``searchsorted`` on ``indptr`` at the nnz quantiles;
+    degenerate targets (one row holding most of the nnz) collapse, so the
+    result may have fewer than ``n_parts`` ranges — never an empty one.
+    Partition boundaries never affect results: each output row belongs to
+    exactly one range and rows are independent in CSR matmat.
+    """
+    n_rows = int(len(indptr)) - 1
+    if n_rows <= 0:
+        return [(0, 0)] if n_rows == 0 else []
+    n_parts = max(1, min(int(n_parts), n_rows))
+    if n_parts == 1:
+        return [(0, n_rows)]
+    total = int(indptr[-1])
+    if total == 0:
+        edges = np.linspace(0, n_rows, n_parts + 1).astype(np.int64)
+    else:
+        targets = np.arange(1, n_parts) * (total / n_parts)
+        interior = np.searchsorted(indptr, targets, side="left")
+        edges = np.concatenate(([0], interior, [n_rows]))
+    edges = np.unique(np.clip(edges, 0, n_rows))
+    return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+
+# --------------------------------------------------------------------------- #
+# The shared kernel thread pool (the ``threaded`` fallback path)
+# --------------------------------------------------------------------------- #
+
+#: Thread-name prefix of the kernel pool's workers.  The sanitizer's
+#: per-module thread-leak check exempts this prefix: like the process pool,
+#: the kernel pool is process-wide by design and torn down by
+#: :func:`shutdown_thread_pool` / ``atexit``, not by each test module.
+KERNEL_THREAD_NAME_PREFIX = "repro-kernel"
+
+_thread_pool: "ThreadPoolExecutor | None" = None
+_thread_pool_size = 0
+_thread_pool_lock = threading.Lock()
+
+
+def _kernel_executor(n_threads: int) -> ThreadPoolExecutor:
+    """The shared kernel pool, grown (never shrunk) to ``n_threads``."""
+    global _thread_pool, _thread_pool_size
+    with _thread_pool_lock:
+        if _thread_pool is None or _thread_pool_size < n_threads:
+            old, _thread_pool = _thread_pool, ThreadPoolExecutor(
+                max_workers=n_threads, thread_name_prefix=KERNEL_THREAD_NAME_PREFIX
+            )
+            _thread_pool_size = n_threads
+        else:
+            old = None
+        pool = _thread_pool
+    if old is not None:
+        # Outgrown pool: let in-flight row slices finish, don't block here.
+        old.shutdown(wait=False)
+    return pool
+
+
+def shutdown_thread_pool() -> None:
+    """Join and drop the kernel thread pool (idempotent; atexit-registered).
+
+    The next ``threaded`` matmat simply starts a fresh pool, so tests can
+    call this to assert no kernel threads outlive an explicit teardown.
+    """
+    global _thread_pool, _thread_pool_size
+    with _thread_pool_lock:
+        pool, _thread_pool = _thread_pool, None
+        _thread_pool_size = 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_thread_pool)
 
 
 def _spmm_accumulate(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
@@ -144,6 +261,16 @@ class Kernel:
 
     def prepare(self, matrix: sp.csr_matrix, n_cols: int):
         """Build (cacheable) per-matrix state for ``n_cols``-wide products."""
+        return None
+
+    def state_token(self):
+        """Hashable tag folded into the prepared-state cache key.
+
+        Kernels whose prepared state depends on anything besides the matrix
+        and ``n_cols`` (the ``threaded`` kernel's row partition depends on
+        the thread count) return that dependency here so a changed knob
+        invalidates the cache instead of replaying a stale partition.
+        """
         return None
 
     def matmat(self, state, matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray,
@@ -268,9 +395,125 @@ class NumbaKernel(Kernel):
         self._compiled()(matrix.indptr, matrix.indices, matrix.data, x, out)
 
 
+class ThreadedKernel(Kernel):
+    """Row-parallel CSR matmat: nnz-balanced row ranges run concurrently.
+
+    Rows are independent in CSR matmat — every output row ``out[i]`` is a
+    function of row ``i``'s nonzeros and ``x`` alone — so splitting the row
+    space into contiguous ranges and computing each range concurrently
+    performs exactly the per-row accumulation sequence of the unsplit
+    kernel.  Results are therefore **bit-identical** to ``scipy`` for any
+    thread count and any partition (the parity suite forces uneven ones).
+
+    Two execution modes, picked at :meth:`prepare` time:
+
+    - numba importable → a ``prange`` over the ranges inside one JIT'd
+      function (true no-GIL row loop);
+    - otherwise → the shared ``repro-kernel`` thread pool, each task calling
+      the GIL-releasing ``csr_matvecs`` on one contiguous row slice (the
+      slice's adjusted ``indptr`` is precomputed; ``indices``/``data`` are
+      zero-copy views), so the kernel exists and parallelizes on every host
+      with a modern scipy.
+
+    Prepared state (the partition + per-range CSR slices) is cached on the
+    operator like the blocked kernel's slabs; :meth:`state_token` folds the
+    current thread count into the cache key so a ``REPRO_KERNEL_THREADS``
+    change invalidates stale partitions.
+    """
+
+    name = "threaded"
+
+    def __init__(self) -> None:
+        self._jit = None
+
+    def available(self):
+        if HAS_NUMBA or HAS_CSR_MATVECS:
+            return True, None
+        return False, (  # pragma: no cover - scipy internals moved
+            "neither numba nor scipy.sparse._sparsetools.csr_matvecs is "
+            "available; the threaded kernel has no row-parallel backend"
+        )
+
+    def state_token(self):
+        return kernel_threads()
+
+    def prepare(self, matrix, n_cols):
+        n_threads = kernel_threads()
+        ranges = nnz_balanced_ranges(matrix.indptr, n_threads)
+        if len(ranges) <= 1:
+            return None  # one thread or one range: plain sequential pass
+        if HAS_NUMBA:  # pragma: no cover - needs numba
+            bounds = np.array(
+                [r0 for r0, _ in ranges] + [ranges[-1][1]], dtype=np.int64
+            )
+            return ("numba", bounds)
+        slices = []
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        for r0, r1 in ranges:
+            lo, hi = int(indptr[r0]), int(indptr[r1])
+            # Rebased indptr is a small copy; indices/data stay views.
+            slices.append(
+                (r0, r1, indptr[r0 : r1 + 1] - lo, indices[lo:hi], data[lo:hi])
+            )
+        return ("threads", slices)
+
+    def _compiled(self):  # pragma: no cover - needs numba
+        if self._jit is None:
+
+            @_numba.njit(parallel=True, cache=False)
+            def spmm(bounds, indptr, indices, data, x, out):
+                n_vec = x.shape[1]
+                for p in _numba.prange(bounds.shape[0] - 1):
+                    for i in range(bounds[p], bounds[p + 1]):
+                        for jj in range(indptr[i], indptr[i + 1]):
+                            a = data[jj]
+                            j = indices[jj]
+                            for v in range(n_vec):
+                                out[i, v] += a * x[j, v]
+
+            self._jit = spmm
+        return self._jit
+
+    def matmat(self, state, matrix, x, out, accumulate):
+        if not accumulate:
+            out[...] = 0
+        if state is None:
+            if HAS_CSR_MATVECS:
+                _spmm_accumulate(matrix, x, out)
+            else:  # pragma: no cover - needs numba without csr_matvecs
+                self._compiled()(
+                    np.array([0, matrix.shape[0]], dtype=np.int64),
+                    matrix.indptr, matrix.indices, matrix.data, x, out,
+                )
+            return
+        mode, payload = state
+        if mode == "numba":  # pragma: no cover - needs numba
+            self._compiled()(payload, matrix.indptr, matrix.indices, matrix.data, x, out)
+            return
+        n_col = matrix.shape[1]
+        n_vec = x.shape[1]
+        xflat = x.ravel()
+        outflat = out.ravel()  # view (operator-owned outputs are contiguous)
+
+        def run_range(task):
+            r0, r1, indptr_adj, idx, dat = task
+            _csr_matvecs(
+                r1 - r0, n_col, n_vec, indptr_adj, idx, dat,
+                xflat, outflat[r0 * n_vec : r1 * n_vec],
+            )
+
+        # Lock-free executor use: futures are created and joined with no
+        # lock held (the pool lock only guards creation/growth above).
+        pool = _kernel_executor(len(payload))
+        futures = [pool.submit(run_range, task) for task in payload]
+        for future in futures:
+            future.result()
+
+
 #: Registry in fallback-priority order; ``scipy`` is the universal default.
 KERNELS: "dict[str, Kernel]" = {
-    kernel.name: kernel for kernel in (ScipyKernel(), BlockedKernel(), NumbaKernel())
+    kernel.name: kernel
+    for kernel in (ScipyKernel(), BlockedKernel(), NumbaKernel(), ThreadedKernel())
 }
 
 DEFAULT_KERNEL = "scipy"

@@ -87,6 +87,7 @@ class TransitionOperator:
         self._base_dtype = base.dtype
         self._prepared: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._damped: "OrderedDict[tuple, TransitionOperator]" = OrderedDict()
+        self._reordered: "dict[object, object]" = {}
         self._has_self_loops: "bool | None" = None
         self._lock = threading.Lock()
 
@@ -239,7 +240,9 @@ class TransitionOperator:
         while bucket < n_cols:
             bucket <<= 1
         bucket = min(max(bucket, 8), 1024)
-        key = (kernel.name, matrix.dtype.name, bucket)
+        # state_token folds in knobs the prepared state depends on (the
+        # threaded kernel's row partition tracks REPRO_KERNEL_THREADS).
+        key = (kernel.name, matrix.dtype.name, bucket, kernel.state_token())
         with self._lock:
             found = self._prepared.get(key)
             if found is not None:
@@ -327,6 +330,28 @@ class TransitionOperator:
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
         """``v @ operator`` (a row-vector step; kernel-independent)."""
         return np.asarray(np.asarray(v) @ self._variants[self._base_dtype.name]).ravel()
+
+    def reordered(self, node_types=None):
+        """The gather-friendly reordered view (memoized per type labeling).
+
+        Builds a :class:`repro.ops.reorder.ReorderedOperator` whose products
+        run through a degree/type-clustered symmetric permutation and equal
+        this operator's bit for bit (see :mod:`repro.ops.reorder`).  The
+        permutation is computed once at first call — effectively operator
+        build time for hot serving paths — and memoized; pass the graph's
+        ``node_types`` so BibNet's typed id clusters drive the grouping.
+        """
+        from repro.ops.reorder import ReorderedOperator
+
+        key = None if node_types is None else np.asarray(node_types).tobytes()
+        with self._lock:
+            found = self._reordered.get(key)
+            if found is not None:
+                return found
+        candidate = ReorderedOperator(self, node_types=node_types)
+        with self._lock:
+            found = self._reordered.setdefault(key, candidate)
+        return found
 
 
 # --------------------------------------------------------------------------- #
