@@ -216,7 +216,8 @@ def run_gateway(graph, population, n_queries, miss_setup) -> "tuple[str, dict]":
     )
     lines.append(
         f"  shared-cache hit rate {info.hit_rate:.1%} "
-        f"({info.hits} hits / {info.misses} misses, {info.evictions} evictions)"
+        f"({info.hits} hits / {info.misses} misses, {info.evictions} evictions); "
+        f"byte utilization {info.byte_utilization:.1%}"
     )
     lines.append(
         f"  lane latency: p50 {lane.p50_ms:.3f} ms, p90 {lane.p90_ms:.3f} ms, "
@@ -365,6 +366,7 @@ def run_gateway(graph, population, n_queries, miss_setup) -> "tuple[str, dict]":
         "max_queue_depth": int(max_depth),
         "queue_depth_bound": depth_bound,
         "gateway_hit_rate": info.hit_rate,
+        "gateway_byte_utilization": info.byte_utilization,
         "lane_p50_ms": lane.p50_ms,
         "lane_p90_ms": lane.p90_ms,
         "lane_p99_ms": lane.p99_ms,

@@ -1,0 +1,261 @@
+"""Observability overhead benchmark: the off switch must be (near) free.
+
+Two costs are measured over a gateway replay of a Zipf query stream:
+
+- **disabled overhead** (asserted): with observability off, every
+  instrumentation point is one module-global check.  The per-event cost of
+  that check is measured in a tight loop, the number of events a replay
+  emits is counted from an enabled run, and the product — the total
+  disabled-mode instrumentation cost buried in the replay — must stay
+  under **2%** of the replay's walltime (the ISSUE acceptance criterion).
+- **enabled overhead** (report-only): the walltime delta between disabled
+  and enabled replays of the same stream, interleaved and min-of-N so
+  machine noise mostly cancels.  Enabled mode allocates spans and takes
+  the registry lock; it is priced, not gated.
+
+The replay also yields two **deterministic** counters that the CI
+regression gate compares exactly: the shared-cache hit count of the fixed
+stream and the certified count of the local fast-path leg — if either
+moves, serving behavior changed, not just timing.  Artifacts for the
+``python -m repro.obs`` CLI land next to the other results:
+``obs_snapshot.json`` (JSON snapshot) and ``obs_trace.jsonl`` (bounded
+trace sink of the final enabled replay).
+
+``REPRO_BENCH_OBS_SMOKE=1`` selects the small CI configuration.  Results
+land in ``benchmarks/results/obs.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.common import RESULTS_DIR, report, report_json
+from repro import obs
+from repro.datasets import QLogConfig, generate_qlog
+from repro.datasets.bibnet import BibNetConfig, generate_bibnet
+from repro.gateway import RankGateway
+from repro.serving import ColumnCache
+
+ALPHA = 0.25
+K = 10
+
+#: Acceptance bound: disabled-mode instrumentation cost vs replay walltime.
+DISABLED_OVERHEAD_LIMIT_PCT = 2.0
+
+#: Counter updates per query beyond the spans (cache hit/miss incs per kind,
+#: flush trigger, solver counters, latency observe, ...) — a deliberate
+#: overestimate, so the asserted bound is conservative.
+EVENTS_PER_QUERY_ESTIMATE = 8
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_OBS_SMOKE", "") == "1"
+
+
+def _setup():
+    """(graph, stream, local_graph, cold_nodes) for the active mode."""
+    if _smoke():
+        qlog = generate_qlog(QLogConfig(n_concepts=60, seed=13))
+        n_queries, n_local = 300, 24
+        bib = generate_bibnet(BibNetConfig(n_papers=1200, n_authors=400, seed=29))
+    else:
+        qlog = generate_qlog(QLogConfig(n_concepts=300, seed=13))
+        n_queries, n_local = 2000, 48
+        bib = generate_bibnet(BibNetConfig(n_papers=2200, n_authors=740, seed=29))
+    rng = np.random.default_rng(47)
+    population = np.asarray(qlog.phrase_nodes)
+    # Zipf-flavored popularity over the phrase nodes: realistic hit rates.
+    weights = 1.0 / np.arange(1, population.size + 1) ** 1.1
+    weights /= weights.sum()
+    stream = rng.choice(population, size=n_queries, p=weights)
+    cold = [int(n) for n in rng.permutation(bib.paper_nodes)[:n_local]]
+    return qlog.graph, stream.astype(np.int64), bib.graph, cold
+
+
+def _replay(graph, stream: np.ndarray) -> float:
+    """One synchronous gateway replay of the stream; returns walltime (s).
+
+    The gateway stays unstarted (no deadline threads): every ``ask`` flushes
+    the lane inline, so the replay is deterministic and single-threaded —
+    exactly what an overhead comparison needs.
+    """
+    gateway = RankGateway(graph, cache=ColumnCache(alpha=ALPHA))
+    t0 = time.perf_counter()
+    for node in stream.tolist():
+        gateway.ask(int(node), k=K)
+    elapsed = time.perf_counter() - t0
+    gateway.close()
+    return elapsed
+
+
+def _disabled_event_cost(n: int = 50_000) -> float:
+    """Per-event cost (s) of one disabled span + one gated counter inc."""
+    assert not obs.enabled()
+    gated = obs.counter("repro_bench_obs_probe_total", "Overhead probe counter.")
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with obs.span("probe"):
+            pass
+        gated.inc()
+    return (time.perf_counter() - t0) / (2 * n)
+
+
+def _cache_hits_total() -> float:
+    hits = obs.REGISTRY.get("repro_cache_hits_total")
+    return hits.total() if hits is not None else 0.0
+
+
+def _local_leg(local_graph, cold_nodes: "list[int]"):
+    """Certified local fast-path leg under observability; deterministic.
+
+    Returns the gateway snapshot plus the raw certified count read straight
+    off the per-gateway registry (``GatewayStats`` rides an ungated
+    :class:`repro.obs.MetricsRegistry`) — the snapshot is *derived* from
+    that registry, so the two must agree exactly.
+    """
+    gateway = RankGateway(
+        local_graph, cache=ColumnCache(alpha=ALPHA), local_topk=True
+    )
+    for node in cold_nodes:
+        gateway.ask(node, k=K)
+    snap = gateway.snapshot()
+    registry_certified = gateway.stats.registry.counter(
+        "repro_gateway_local_total", labels=("outcome",)
+    ).value(outcome="certified")
+    gateway.close()
+    return snap, registry_certified
+
+
+def run_obs(graph, stream, local_graph, cold_nodes) -> "tuple[str, dict]":
+    n_queries = int(stream.size)
+    lines = [
+        "Observability overhead: disabled fast path, enabled cost, span coverage",
+        f"graph: {graph.n_nodes} nodes / {graph.n_edges} arcs; "
+        f"{n_queries} queries ({int(np.unique(stream).size)} distinct); "
+        f"mode: {'smoke' if _smoke() else 'full'}",
+        "",
+    ]
+    obs.disable()
+    obs.clear_spans()
+    try:
+        # -------------------------------------------------- disabled cost #
+        per_event_s = _disabled_event_cost()
+        _replay(graph, stream)  # warm caches/imports outside the timed legs
+        t_disabled = min(_replay(graph, stream) for _ in range(2))
+
+        # ---------------------------------------------------- enabled legs #
+        obs.enable()
+        obs.clear_spans()
+        sink_before = obs.sink_stats()["recorded"]
+        hits_before = _cache_hits_total()
+        t_enabled = _replay(graph, stream)
+        cache_hits = _cache_hits_total() - hits_before
+        n_spans = obs.sink_stats()["recorded"] - sink_before
+        span_names = {s.name for s in obs.spans()}
+
+        # Interleave a second pair so drift hits both modes equally.
+        obs.disable()
+        t_disabled = min(t_disabled, _replay(graph, stream))
+        obs.enable()
+        t_enabled = min(t_enabled, _replay(graph, stream))
+
+        # ------------------------------------------------- local topk leg #
+        local_snap, registry_certified = _local_leg(local_graph, cold_nodes)
+        span_names |= {s.name for s in obs.spans()}
+
+        # ------------------------------------------------------ artifacts #
+        RESULTS_DIR.mkdir(exist_ok=True)
+        trace_path = RESULTS_DIR / "obs_trace.jsonl"
+        obs.set_trace_file(str(trace_path), max_file_spans=2000)
+        _replay(graph, stream[: min(40, n_queries)])
+        obs.set_trace_file(None)
+        obs.write_snapshot(RESULTS_DIR / "obs_snapshot.json")
+    finally:
+        obs.disable()
+        obs.set_trace_file(None)
+        obs.clear_spans()
+
+    # The disabled-mode cost buried in a replay: every span the enabled run
+    # recorded was a no-op check when disabled, plus the (overestimated)
+    # per-query counter updates.
+    n_events = n_spans + EVENTS_PER_QUERY_ESTIMATE * n_queries
+    disabled_cost_s = n_events * per_event_s
+    disabled_pct = 100.0 * disabled_cost_s / t_disabled
+    enabled_pct = 100.0 * (t_enabled - t_disabled) / t_disabled
+
+    lines.append(
+        f"disabled fast path: {per_event_s * 1e9:.0f} ns/event x {n_events} events "
+        f"= {disabled_cost_s * 1e3:.3f} ms buried in {t_disabled * 1e3:.1f} ms replay "
+        f"-> {disabled_pct:.3f}% (bound {DISABLED_OVERHEAD_LIMIT_PCT:.1f}%)"
+    )
+    lines.append(
+        f"enabled mode:       {t_enabled * 1e3:.1f} ms vs {t_disabled * 1e3:.1f} ms "
+        f"disabled -> {enabled_pct:+.1f}% walltime (report-only)"
+    )
+    lines.append(
+        f"trace coverage:     {n_spans} spans/replay; layers: "
+        + ", ".join(sorted(span_names))
+    )
+    lines.append(
+        f"deterministic:      {int(cache_hits)} cache hits on the fixed stream; "
+        f"local leg {local_snap.n_local_certified} certified / "
+        f"{local_snap.n_local_escalated} escalated over {len(cold_nodes)} queries"
+    )
+
+    required = {
+        "gateway.submit",
+        "gateway.admission",
+        "gateway.lane",
+        "batcher.flush",
+        "cache.get_many",
+        "engine.solve",
+        "ops.kernel",
+        "topk.local",
+    }
+    missing = required - span_names
+    assert not missing, f"enabled replay missed span layers: {sorted(missing)}"
+    assert disabled_pct < DISABLED_OVERHEAD_LIMIT_PCT, (
+        f"disabled-mode instrumentation overhead {disabled_pct:.3f}% exceeds "
+        f"{DISABLED_OVERHEAD_LIMIT_PCT}% of replay walltime"
+    )
+    assert registry_certified == local_snap.n_local_certified, (
+        f"per-gateway registry certified count {registry_certified} disagrees "
+        f"with the gateway snapshot {local_snap.n_local_certified}"
+    )
+
+    lines.append("")
+    lines.append(
+        f"acceptance: all span layers present, disabled overhead "
+        f"{disabled_pct:.3f}% < {DISABLED_OVERHEAD_LIMIT_PCT}%, registry and "
+        "snapshot certified counts agree — all hold"
+    )
+
+    metrics = {
+        "mode": "smoke" if _smoke() else "full",
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "n_queries": n_queries,
+        "per_event_ns": per_event_s * 1e9,
+        "n_events": int(n_events),
+        "spans_per_replay": int(n_spans),
+        "replay_disabled_s": t_disabled,
+        "replay_enabled_s": t_enabled,
+        "disabled_overhead_pct": disabled_pct,
+        "enabled_overhead_pct": enabled_pct,
+        "cache_hits": int(cache_hits),
+        "local_queries": len(cold_nodes),
+        "n_local_certified": local_snap.n_local_certified,
+        "n_local_escalated": local_snap.n_local_escalated,
+        "span_layers": sorted(span_names),
+    }
+    return "\n".join(lines), metrics
+
+
+def test_bench_obs(benchmark):
+    args = _setup()
+    text, metrics = benchmark.pedantic(run_obs, args=args, rounds=1, iterations=1)
+    report("obs", text)
+    report_json("obs", metrics)

@@ -79,6 +79,15 @@ CHECKS = (
     # time); an escalation-rate regression turns CI red here.
     Check("gateway.n_local_certified", "equal", atol=2),
     Check("gateway.n_local_escalated", "equal", atol=2),
+    # Observability: the bench's replay counters are deterministic (fixed
+    # stream, fresh gateway per replay) — drift means serving behavior
+    # changed, not the clock.  The overhead percentages ride report-only:
+    # the disabled bound is asserted in-bench, and the enabled delta is
+    # walltime-noisy on shared runners.
+    Check("obs.cache_hits", "equal"),
+    Check("obs.n_local_certified", "equal", atol=2),
+    Check("obs.disabled_overhead_pct", "max", gate=False),
+    Check("obs.enabled_overhead_pct", "max", gate=False),
     Check("gateway.cold_tenant_first_touch_prefetch", "min", tol=0.3),
     # Wall-clock ratios: wide bands (CI noise), still catch a collapse.
     Check("batch_engine.batch_speedup", "min", tol=0.5),

@@ -30,6 +30,7 @@ os.environ["REPRO_BENCH_BATCH_SMOKE"] = "1"
 os.environ["REPRO_BENCH_SERVING_SMOKE"] = "1"
 os.environ["REPRO_BENCH_PARALLEL_SMOKE"] = "1"
 os.environ["REPRO_BENCH_GATEWAY_SMOKE"] = "1"
+os.environ["REPRO_BENCH_OBS_SMOKE"] = "1"
 
 from benchmarks.common import RESULTS_DIR  # noqa: E402
 
@@ -46,7 +47,13 @@ def _metrics(name: str, rerun) -> dict:
 
 
 def main() -> int:
-    from benchmarks import bench_batch_engine, bench_gateway, bench_parallel, bench_serving
+    from benchmarks import (
+        bench_batch_engine,
+        bench_gateway,
+        bench_obs,
+        bench_parallel,
+        bench_serving,
+    )
 
     payload = {
         "schema": 1,
@@ -79,6 +86,11 @@ def main() -> int:
         "gateway": _metrics(
             "gateway", lambda: bench_gateway.run_gateway(*bench_gateway._setup())
         ),
+        # The obs leg prices the PR-10 observability layer: the disabled
+        # fast path must stay under 2% of replay walltime (asserted
+        # in-bench), the enabled-mode delta is tracked report-only, and the
+        # deterministic cache-hit / certified counts are gated exactly.
+        "obs": _metrics("obs", lambda: bench_obs.run_obs(*bench_obs._setup())),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "ci_smoke.json"

@@ -49,6 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.frank import DEFAULT_ALPHA, ConvergenceWarning
 from repro.core.queries import Query, normalize_query
 from repro.graph.digraph import DiGraph
@@ -62,6 +63,37 @@ _F32_FLOOR = 2e-6
 #: Sweep budget for one float32 Chebyshev phase (a phase typically needs
 #: ~20 sweeps; the budget only matters when float32 stalls).
 _PHASE_BUDGET = 120
+
+_OBS_SOLVES = obs.counter(
+    "repro_engine_solves_total", "Batch solves by method.", labels=("method",)
+)
+_OBS_SWEEPS = obs.counter(
+    "repro_engine_sweeps_total", "Total matvec sweeps spent in batch solves."
+)
+
+
+def _record_solve(span_, method: str, x: np.ndarray, norms: np.ndarray, sweeps: int) -> None:
+    """Attach solver attributes (sweeps, residual, kernel, dtype) to a span."""
+    if not obs.enabled():
+        return
+    from repro.ops.kernels import active_kernel
+
+    report = active_kernel()
+    span_.set_attributes(
+        sweeps=int(sweeps),
+        residual=float(np.max(norms)) if norms.size else 0.0,
+        kernel=report.name,
+        dtype=str(x.dtype),
+    )
+    with obs.span(
+        "ops.kernel",
+        kernel=report.name,
+        requested=report.requested or "",
+        fallback=report.fallback_reason or "",
+    ):
+        pass
+    _OBS_SOLVES.inc(method=method)
+    _OBS_SWEEPS.inc(int(sweeps))
 
 
 def _prepared_operator(graph: DiGraph, transpose: bool, dtype):
@@ -286,12 +318,14 @@ def power_iteration_batch(
     base = alpha * teleports
     damp = 1.0 - alpha
 
-    if method == "power":
-        x, unconverged_norms, _ = _jacobi_masked(
-            top, base, damp, base.copy(), tol, max_iter
-        )
-    else:
-        x, unconverged_norms, _ = _solve_auto(top, base, damp, tol, max_iter)
+    with obs.span("engine.solve", method=method, queries=n_queries) as solve_span:
+        if method == "power":
+            x, unconverged_norms, sweeps = _jacobi_masked(
+                top, base, damp, base.copy(), tol, max_iter
+            )
+        else:
+            x, unconverged_norms, sweeps = _solve_auto(top, base, damp, tol, max_iter)
+        _record_solve(solve_span, method, x, unconverged_norms, sweeps)
     bad = unconverged_norms >= tol
     if warn_on_nonconvergence and bad.any():
         warnings.warn(

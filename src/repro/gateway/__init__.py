@@ -53,7 +53,13 @@ from repro.gateway.admission import (
 from repro.gateway.core import LaneKey, RankGateway
 from repro.gateway.frequency import FrequencyEstimator
 from repro.gateway.prefetch import Prefetcher
-from repro.gateway.stats import GatewaySnapshot, GatewayStats, LaneStats
+from repro.gateway.stats import (
+    GatewaySnapshot,
+    GatewayStats,
+    LaneStats,
+    lane_key_from_str,
+    lane_key_to_str,
+)
 
 __all__ = [
     "AdmissionConfig",
@@ -67,4 +73,6 @@ __all__ = [
     "RankGateway",
     "Shed",
     "TokenBucket",
+    "lane_key_from_str",
+    "lane_key_to_str",
 ]

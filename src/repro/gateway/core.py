@@ -29,23 +29,48 @@ solve never blocks admission to other lanes.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, NamedTuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.frank import DEFAULT_ALPHA
 from repro.core.queries import Query, normalize_query
 from repro.core.roundtrip_plus import DEFAULT_BETA
 from repro.gateway.admission import AdmissionConfig, AdmissionController, Shed
 from repro.gateway.frequency import FrequencyEstimator
-from repro.gateway.stats import GatewaySnapshot, GatewayStats
+from repro.gateway.stats import GatewaySnapshot, GatewayStats, lane_key_to_str
 from repro.graph.digraph import DiGraph
 from repro.serving.batcher import MEASURES, MicroBatcher
 from repro.serving.cache import ColumnCache
+
+_gateway_ids = itertools.count(1)
+
+
+def _gateway_collector(ref: "weakref.ref[RankGateway]"):
+    """An ``obs`` collector closure holding the gateway only weakly.
+
+    Returning ``None`` (the gateway died without ``close()``) makes the
+    exporter drop the registration, so test-created gateways cannot leak
+    collector entries.
+    """
+
+    def collect() -> "dict | None":
+        gateway = ref()
+        if gateway is None or gateway.closed:
+            return None
+        return {
+            "stats": gateway.stats.snapshot().to_jsonable(),
+            "cache": gateway.cache.cache_info().to_jsonable(),
+        }
+
+    return collect
 
 
 class LaneKey(NamedTuple):
@@ -158,6 +183,10 @@ class RankGateway:
         self._registry_lock = threading.Lock()
         self._started = False
         self._closed = False
+        # Publish this gateway's stats + cache view into obs.snapshot();
+        # unregistered on close() (or reaped weakly if close never runs).
+        self._obs_name = f"gateway-{next(_gateway_ids)}"
+        obs.register_collector(self._obs_name, _gateway_collector(weakref.ref(self)))
 
     # ------------------------------------------------------------------ #
     # Graph registry
@@ -277,38 +306,63 @@ class RankGateway:
         # columns enter certification as zero-error states, which a lossy
         # dtype cannot honor).
         if self.local_topk and k is not None and self.cache.dtype == np.float64:
-            return self._submit_local(
-                query, tenant, graph_obj, key, measure, float(alpha), k,
-                nodes, weights,
-            )
+            with obs.span(
+                "gateway.submit",
+                tenant=tenant,
+                lane=lane_key_to_str(tuple(key)),
+                k=int(k),
+                path="local",
+            ):
+                return self._submit_local(
+                    query, tenant, graph_obj, key, measure, float(alpha), k,
+                    nodes, weights,
+                )
 
-        while True:
-            lane, evicted = self._lane(key)
-            if lane is None:  # gateway closed
-                shed = Shed(reason="closed", tenant=tenant, lane=tuple(key))
-                self.stats.record_shed(tenant, shed.reason)
-                return shed
-            if evicted is not None:
-                self._close_lane(evicted)
-            with lane.admission_lock:
-                if lane.batcher.closed:
-                    continue  # evicted between lookup and lock: retry fresh
-                shed = self.admission.admit(
-                    tenant, tuple(key), lane.batcher.pending
-                )
-                if shed is not None:
+        with obs.span(
+            "gateway.submit",
+            tenant=tenant,
+            lane=lane_key_to_str(tuple(key)),
+            k=-1 if k is None else int(k),
+            path="batcher",
+        ) as root_span:
+            while True:
+                lane, evicted = self._lane(key)
+                if lane is None:  # gateway closed
+                    shed = Shed(reason="closed", tenant=tenant, lane=tuple(key))
                     self.stats.record_shed(tenant, shed.reason)
+                    root_span.set_attributes(outcome="shed", reason=shed.reason)
                     return shed
-                started = self._clock()
-                # Submitting under the admission lock is the hard depth
-                # bound: admission-check and enqueue must be atomic or two
-                # racing callers can both pass the check and overfill the
-                # lane.  MicroBatcher.submit only appends to a deque under
-                # its own leaf lock — it never blocks on batch completion.
-                future = lane.batcher.submit(  # repro: ignore[lock-across-blocking]
-                    query, k=k, parsed=(nodes, weights)
-                )
-            break
+                if evicted is not None:
+                    self._close_lane(evicted)
+                with lane.admission_lock:
+                    if lane.batcher.closed:
+                        continue  # evicted between lookup and lock: retry fresh
+                    depth = lane.batcher.pending
+                    with obs.span("gateway.admission", tenant=tenant, depth=depth) as adm:
+                        shed = self.admission.admit(tenant, tuple(key), depth)
+                        if shed is not None:
+                            adm.set_attributes(outcome="shed", reason=shed.reason)
+                        else:
+                            adm.set_attributes(outcome="admitted")
+                    if shed is not None:
+                        self.stats.record_shed(tenant, shed.reason)
+                        root_span.set_attributes(outcome="shed", reason=shed.reason)
+                        return shed
+                    started = self._clock()
+                    # Submitting under the admission lock is the hard depth
+                    # bound: admission-check and enqueue must be atomic or two
+                    # racing callers can both pass the check and overfill the
+                    # lane.  MicroBatcher.submit only appends to a deque under
+                    # its own leaf lock — it never blocks on batch completion.
+                    # The enqueue-time span context rides on the request so
+                    # the eventual flush joins this trace.
+                    with obs.span("gateway.lane", depth=depth) as lane_span:
+                        future = lane.batcher.submit(  # repro: ignore[lock-across-blocking]
+                            query, k=k, parsed=(nodes, weights),
+                            trace=lane_span.context(),
+                        )
+                break
+            root_span.set_attributes(outcome="admitted")
 
         self.stats.record_admitted(tenant)
         for node, weight in zip(nodes.tolist(), weights.tolist()):
@@ -350,7 +404,9 @@ class RankGateway:
             shed = Shed(reason="closed", tenant=tenant, lane=tuple(key))
             self.stats.record_shed(tenant, shed.reason)
             return shed
-        shed = self.admission.admit(tenant, tuple(key), 0)
+        with obs.span("gateway.admission", tenant=tenant, depth=0) as adm:
+            shed = self.admission.admit(tenant, tuple(key), 0)
+            adm.set_attributes(outcome="admitted" if shed is None else "shed")
         if shed is not None:
             self.stats.record_shed(tenant, shed.reason)
             return shed
@@ -444,6 +500,7 @@ class RankGateway:
             self._lanes.clear()
         for lane in lanes:
             self._close_lane(lane)
+        obs.unregister_collector(self._obs_name)
 
     @property
     def closed(self) -> bool:

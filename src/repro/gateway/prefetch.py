@@ -31,6 +31,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gateway.core import RankGateway
 
@@ -164,24 +166,29 @@ class Prefetcher:
             return 0
         cache = gateway.cache
         warmed = 0
-        for (graph_name, alpha), nodes in selected.items():
-            graph = gateway.graph(graph_name)
-            # Warm coldest-planned first, in chunks covering both kinds per
-            # node, so the hottest planned columns are the *most recently*
-            # touched when the round ends.  A single hottest-first pass per
-            # kind would leave the hottest inserts oldest — first out the
-            # door under LRU the moment the round itself fills the budget.
-            for end in range(len(nodes), 0, -self.chunk):
-                chunk = nodes[max(0, end - self.chunk):end]
-                # Count only *planned* columns absent right before this
-                # chunk's warm — a global miss delta would misattribute
-                # concurrent foreground misses to prefetch.
-                warmed += sum(
-                    not cache.contains(graph, kind, node, alpha)
-                    for node in chunk
-                    for kind in ("f", "t")
-                )
-                cache.warm(graph, chunk, alpha, workers=self.workers)
+        with obs.span(
+            "gateway.prefetch", planned=sum(len(nodes) for nodes in selected.values())
+        ) as ospan:
+            for (graph_name, alpha), nodes in selected.items():
+                graph = gateway.graph(graph_name)
+                # Warm coldest-planned first, in chunks covering both kinds
+                # per node, so the hottest planned columns are the *most
+                # recently* touched when the round ends.  A single
+                # hottest-first pass per kind would leave the hottest inserts
+                # oldest — first out the door under LRU the moment the round
+                # itself fills the budget.
+                for end in range(len(nodes), 0, -self.chunk):
+                    chunk = nodes[max(0, end - self.chunk):end]
+                    # Count only *planned* columns absent right before this
+                    # chunk's warm — a global miss delta would misattribute
+                    # concurrent foreground misses to prefetch.
+                    warmed += sum(
+                        not cache.contains(graph, kind, node, alpha)
+                        for node in chunk
+                        for kind in ("f", "t")
+                    )
+                    cache.warm(graph, chunk, alpha, workers=self.workers)
+            ospan.set_attributes(warmed=warmed)
         gateway.stats.record_prefetch(warmed)
         return warmed
 

@@ -1,0 +1,274 @@
+"""Per-query trace spans: context-propagated, allocation-light, no deps.
+
+One gateway query produces one **trace**: a tree of :class:`Span` records
+covering every layer the query touched — ``gateway.submit`` at the root,
+admission and lane enqueue beneath it, then (parented across the thread
+hop via the enqueue-time :class:`SpanContext` carried on the request)
+``batcher.flush`` → ``cache.get_many`` → ``engine.solve`` →
+``ops.kernel``, or ``topk.local`` on the certified fast path.  The span
+attribute vocabulary is documented in the README's Observability section.
+
+Propagation uses a :class:`contextvars.ContextVar`: entering a span makes
+it the current parent for spans opened later on the same thread (or task),
+and :func:`current_context` exports the ``(trace_id, span_id)`` pair for
+explicit cross-thread parenting.  Ids come from a process-local counter —
+no randomness, no external ids.
+
+Cost model: when observability is off (:func:`repro.obs.registry.enabled`),
+:func:`span` returns a shared no-op span and touches nothing else — the
+same module-global fast path the registry uses.  When on, finished spans
+land in the process :class:`TraceSink`: a bounded in-memory ring (size
+``REPRO_OBS_MAX_SPANS``, default 4096) plus an optional **bounded JSONL
+file sink** (``REPRO_OBS_TRACE=<path>``, line cap ``REPRO_OBS_TRACE_MAX``,
+default 10000; overflow is counted, never written) that
+``python -m repro.obs summarize`` renders back into trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro.obs import registry as _registry
+
+_CURRENT: "ContextVar[SpanContext | None]" = ContextVar("repro_obs_span", default=None)
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The addressable identity of a span: enough to parent children on."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed, attributed node of a trace tree (use as a context manager).
+
+    Attribute mutation (:meth:`set_attribute` / :meth:`set_attributes`) is
+    single-writer by construction — only the code inside the ``with`` block
+    touches the span — so spans carry no lock; the sink serializes the
+    publish of finished spans.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_unix",
+        "duration_s",
+        "attributes",
+        "_t0",
+        "_token",
+    )
+
+    def __init__(self, name: str, parent: "SpanContext | None", attributes: dict) -> None:
+        self.name = name
+        if parent is None:
+            self.trace_id = f"t{os.getpid()}-{next(_ids)}"
+            self.parent_id = None
+        else:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        self.span_id = f"s{next(_ids)}"
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+        self.attributes = attributes
+        self._t0 = 0.0
+        self._token = None
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+        }
+
+    def __enter__(self) -> "Span":
+        self.start_unix = time.time()
+        self._token = _CURRENT.set(self.context())
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        _SINK.record(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, attrs={self.attributes})"
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def context(self) -> None:
+        return None
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def set_attributes(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceSink:
+    """Bounded collection point for finished spans (ring + optional JSONL).
+
+    The ring keeps the most recent ``maxlen`` spans for in-process readers
+    (:func:`spans`, ``obs.snapshot()``'s trace stats).  When a file is
+    configured, each finished span is also appended as one JSON line until
+    ``max_file_spans`` lines have been written; further spans bump
+    ``dropped`` instead of growing the file — a trace sink must never be
+    the thing that fills the disk.  The sink lock is a leaf, like the
+    registry's.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._spans: "deque[Span]" = deque(maxlen=int(maxlen))
+        self._recorded = 0
+        self._file = None
+        self._file_path: "str | None" = None
+        self._file_limit = 0
+        self._file_written = 0
+        self._dropped = 0
+
+    def record(self, span: Span) -> None:
+        # Serialize outside the lock, and only when a file sink is live —
+        # the common in-memory-only path appends the span object as-is.
+        line = None
+        if self._file is not None:
+            line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+            if self._file is not None:
+                if line is None:  # file attached between check and lock
+                    line = json.dumps(span.to_dict(), sort_keys=True)
+                if self._file_written < self._file_limit:
+                    self._file.write(line + "\n")
+                    self._file_written += 1
+                else:
+                    self._dropped += 1
+
+    def configure_file(self, path: "str | None", max_file_spans: int = 10000) -> None:
+        """Attach (or with ``path=None`` detach) the JSONL file sink."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            self._file_path = None
+            self._file_written = 0
+            self._dropped = 0
+            if path is not None:
+                # Line-buffered so readers (tests, the CLI) see complete
+                # lines without an explicit flush handshake.
+                self._file = open(path, "w", buffering=1)
+                self._file_path = str(path)
+                self._file_limit = int(max_file_spans)
+
+    def spans(self) -> "list[Span]":
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop the in-memory ring (the file sink keeps its position)."""
+        with self._lock:
+            self._spans.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "in_memory": len(self._spans),
+                "recorded": self._recorded,
+                "file": self._file_path,
+                "file_written": self._file_written,
+                "file_dropped": self._dropped,
+            }
+
+
+_SINK = TraceSink(maxlen=int(os.environ.get("REPRO_OBS_MAX_SPANS", "4096")))
+_env_trace = os.environ.get("REPRO_OBS_TRACE")
+if _env_trace:
+    _SINK.configure_file(_env_trace, int(os.environ.get("REPRO_OBS_TRACE_MAX", "10000")))
+
+
+def span(name: str, parent: "SpanContext | Span | None" = None, **attributes):
+    """Open a span (context manager); the disabled path returns a no-op.
+
+    ``parent`` overrides context propagation — pass the
+    :class:`SpanContext` captured at enqueue time when the span finishes on
+    a different thread than its parent ran on (the micro-batcher flush
+    does exactly this).  Keyword arguments become initial span attributes.
+    """
+    if not _registry._enabled:
+        return NOOP_SPAN
+    if parent is None:
+        parent = _CURRENT.get()
+    elif isinstance(parent, Span):
+        parent = parent.context()
+    return Span(name, parent, attributes)
+
+
+def current_context() -> "SpanContext | None":
+    """The context of the innermost live span on this thread (or ``None``)."""
+    return _CURRENT.get()
+
+
+def spans() -> "list[Span]":
+    """The in-memory ring of finished spans, oldest first."""
+    return _SINK.spans()
+
+
+def clear_spans() -> None:
+    """Empty the in-memory span ring (tests and benchmark legs)."""
+    _SINK.clear()
+
+
+def set_trace_file(path: "str | None", max_file_spans: int = 10000) -> None:
+    """Point the bounded JSONL sink at ``path`` (``None`` detaches it)."""
+    _SINK.configure_file(path, max_file_spans)
+
+
+def sink_stats() -> dict:
+    """Ring/file occupancy and drop counters of the process sink."""
+    return _SINK.stats()

@@ -38,7 +38,13 @@ from collections import OrderedDict
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.ops import kernels as _kernels
+
+_OBS_MATMAT = obs.counter(
+    "repro_kernel_matmat_total", "Kernel matmat dispatches by resolved kernel.",
+    labels=("kernel",),
+)
 
 #: dtypes a TransitionOperator serves; anything else is upcast to float64.
 _SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
@@ -311,6 +317,7 @@ class TransitionOperator:
                 raise ValueError("out must not alias the operand or the operator")
         kern, report = _kernels.resolve(kernel)
         _kernels.warn_if_fallback(report)
+        _OBS_MATMAT.inc(kernel=report.name)
         state = self._prepared_state(kern, matrix, x.shape[1])
         kern.matmat(state, matrix, x, out, accumulate)
         return out

@@ -58,6 +58,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.frank import ConvergenceWarning
 from repro.core.queries import Query, normalize_query
 from repro.distributed.striping import StripeMap
@@ -67,6 +68,15 @@ from repro.utils.validation import check_in_range, check_positive
 
 #: smallest batch worth sharding at all (see :func:`effective_workers`).
 PARALLEL_MIN_QUERIES = 8
+
+_OBS_POOL_TASKS = obs.counter(
+    "repro_pool_tasks_total", "Tasks dispatched to the shared process pool."
+)
+_OBS_SHARD_COLUMNS = obs.histogram(
+    "repro_pool_shard_columns",
+    "Columns per shard task in parallel column solves.",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+)
 
 #: spawn, not fork: fork deadlocks threaded BLAS and does not exist on
 #: Windows; the CI matrix runs this on 3.10/3.11/3.12 unchanged.
@@ -225,9 +235,11 @@ def _pool_submit(workers: int, fn, /, *args):
     """
     while True:
         try:
-            return get_pool(workers).submit(fn, *args)
+            future = get_pool(workers).submit(fn, *args)
         except PoolRetiredError:
             continue
+        _OBS_POOL_TASKS.inc()
+        return future
 
 
 # --------------------------------------------------------------------------- #
@@ -458,28 +470,30 @@ def solve_columns_parallel(
     stripe = StripeMap(n_queries, n_shards)
     shards = []
     try:
-        for shard_id in range(n_shards):
-            cols = stripe.owned_nodes(shard_id)
-            if cols.size == 0:
-                continue
-            future = _pool_submit(
-                n_shards,
-                _solve_shard,
-                handle,
-                [parsed[j][0] for j in cols],
-                [parsed[j][1] for j in cols],
-                alpha,
-                tol,
-                max_iter,
-                method,
-            )
-            shards.append((cols, future))
-        x = np.empty((graph.n_nodes, n_queries))
-        messages: "list[str]" = []
-        for cols, future in shards:
-            shard_x, shard_messages = future.result()
-            x[:, cols] = shard_x
-            messages.extend(shard_messages)
+        with obs.span("parallel.columns", queries=n_queries, shards=n_shards):
+            for shard_id in range(n_shards):
+                cols = stripe.owned_nodes(shard_id)
+                if cols.size == 0:
+                    continue
+                _OBS_SHARD_COLUMNS.observe(float(cols.size))
+                future = _pool_submit(
+                    n_shards,
+                    _solve_shard,
+                    handle,
+                    [parsed[j][0] for j in cols],
+                    [parsed[j][1] for j in cols],
+                    alpha,
+                    tol,
+                    max_iter,
+                    method,
+                )
+                shards.append((cols, future))
+            x = np.empty((graph.n_nodes, n_queries))
+            messages: "list[str]" = []
+            for cols, future in shards:
+                shard_x, shard_messages = future.result()
+                x[:, cols] = shard_x
+                messages.extend(shard_messages)
     except BrokenProcessPool:
         # A worker died hard (OOM, signal): drop the broken executor so the
         # next parallel call starts a fresh pool instead of failing forever.

@@ -47,8 +47,22 @@ from multiprocessing import shared_memory
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.ops.kernels import nnz_balanced_ranges
 from repro.parallel.shm import ArraySpec, _next_name
+
+_OBS_ROUTES = obs.counter(
+    "repro_route_decisions_total",
+    "Single-query row-shard routing decisions by outcome.",
+    labels=("routed",),
+)
+_OBS_ROWSHARD_SWEEPS = obs.counter(
+    "repro_rowshard_sweeps_total",
+    "Row-sharded matvec/rmatvec sweeps dispatched to the pool.",
+)
+_OBS_ROWSHARD_SHARDS = obs.gauge(
+    "repro_rowshard_shards", "Shard count of the most recent routed matvec."
+)
 
 #: Smallest operator nnz worth row-sharding: below it one sweep is cheaper
 #: than the pool round-trip it would take to split.  Overridable via the
@@ -129,6 +143,7 @@ def record_route(report: RouteReport) -> None:
     global _last_route
     with _route_lock:
         _last_route = report
+    _OBS_ROUTES.inc(routed="true" if report.routed else "false")
 
 
 def active_route() -> "RouteReport | None":
@@ -320,6 +335,7 @@ class ShardedMatvec:
         """``operator @ v``, assembled from disjoint row ranges (bit-exact)."""
         if self._closed:
             raise RuntimeError("ShardedMatvec is closed")
+        _OBS_ROWSHARD_SWEEPS.inc()
         self._xs.view[...] = v
         self._submit_all(_rowshard_matvec, self._ys.spec)
         return self._ys.view.copy()
@@ -328,6 +344,7 @@ class ShardedMatvec:
         """``v @ operator`` as the ascending-shard-order sum of partials."""
         if self._closed:
             raise RuntimeError("ShardedMatvec is closed")
+        _OBS_ROWSHARD_SWEEPS.inc()
         self._xs.view[...] = v
         partials = self._submit_all(_rowshard_rmatvec)
         out = np.zeros_like(self._xs.view)
@@ -364,6 +381,7 @@ def open_row_sharded_matvec(graph, transpose: bool, workers: "int | None"):
     record_route(RouteReport(plan.routed, plan.shards, plan.reason))
     if not plan.routed:
         return None
+    _OBS_ROWSHARD_SHARDS.set(float(plan.shards))
     return ShardedMatvec(graph, transpose, plan.shards)
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.frank import DEFAULT_ALPHA
 from repro.core.queries import Query, normalize_query
 from repro.core.roundtrip_plus import DEFAULT_BETA, combine_beta
@@ -47,6 +48,13 @@ from repro.serving.topk import topk_select
 
 MEASURES = ("roundtriprank", "roundtriprank_plus", "frank", "trank")
 
+_OBS_FLUSHES = obs.counter(
+    "repro_batcher_flushes_total", "MicroBatcher flushes", labels=("trigger",)
+)
+_OBS_WAKEUPS = obs.counter(
+    "repro_batcher_wakeups_total", "Deadline-loop iterations across all batchers"
+)
+
 
 @dataclass
 class _Request:
@@ -58,6 +66,10 @@ class _Request:
     k: "int | None"
     future: Future
     enqueued_at: float
+    # Enqueue-time span context: the flush (which may run on the deadline
+    # thread) parents its span here so the whole solve joins the submitting
+    # query's trace.
+    trace: "obs.SpanContext | None" = None
 
 
 @dataclass
@@ -182,6 +194,7 @@ class MicroBatcher:
         query: Query,
         k: "int | None" = None,
         parsed: "tuple[np.ndarray, np.ndarray] | None" = None,
+        trace: "obs.SpanContext | None" = None,
     ) -> Future:
         """Queue one query; returns a future resolving to its scores.
 
@@ -192,6 +205,9 @@ class MicroBatcher:
         lets a caller that already ran :func:`normalize_query` on this
         graph's ``query`` (the gateway validates before admission) pass the
         ``(nodes, weights)`` pair instead of paying a second parse.
+        ``trace`` attaches a span context so the flush that eventually
+        solves this query joins the caller's trace (defaults to the
+        current span of the submitting thread).
         """
         nodes, weights = (
             normalize_query(self.graph, query) if parsed is None else parsed
@@ -205,6 +221,7 @@ class MicroBatcher:
             k=k,
             future=Future(),
             enqueued_at=time.monotonic(),
+            trace=obs.current_context() if trace is None else trace,
         )
         with self._lock:
             if self._closed:
@@ -335,6 +352,7 @@ class MicroBatcher:
         while True:
             with self._lock:
                 self._loop_wakeups += 1
+                _OBS_WAKEUPS.inc()
                 while not self._pending and not self._stopping:
                     self._wakeup.wait()
                 if self._stopping:
@@ -371,8 +389,19 @@ class MicroBatcher:
                 self.stats.n_size_flushes += 1
             elif trigger == "deadline":
                 self.stats.n_deadline_flushes += 1
+        _OBS_FLUSHES.inc(trigger=trigger)
+        # Parent the flush on the first traced request: a flush may run on
+        # the deadline thread, where context propagation cannot reach.
+        ctx = next((r.trace for r in batch if r.trace is not None), None)
         try:
-            scores = self._score_columns(batch)
+            with obs.span(
+                "batcher.flush",
+                parent=ctx,
+                trigger=trigger,
+                batch=len(batch),
+                measure=self.measure,
+            ):
+                scores = self._score_columns(batch)
             for j, request in enumerate(batch):
                 if request.k is None:
                     result = np.ascontiguousarray(scores[:, j])

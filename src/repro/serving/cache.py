@@ -58,6 +58,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.sanitizer import publish_guard
 from repro.core.frank import DEFAULT_ALPHA
 from repro.engine.batch import frank_batch, trank_batch
@@ -69,6 +70,15 @@ from repro.serving.policies import EvictionPolicy, make_policy
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 _KINDS = ("f", "t")
+
+# Process-wide cache traffic, aggregated over every ColumnCache instance
+# (per-instance counts stay on CacheInfo); gated, so production-off mode
+# pays one flag check per get_many.
+_OBS_HITS = obs.counter("repro_cache_hits_total", "ColumnCache lookup hits", labels=("kind",))
+_OBS_MISSES = obs.counter(
+    "repro_cache_misses_total", "ColumnCache lookup misses", labels=("kind",)
+)
+_OBS_EVICTIONS = obs.counter("repro_cache_evictions_total", "ColumnCache evictions")
 
 _graph_tokens: "weakref.WeakKeyDictionary[DiGraph, int]" = weakref.WeakKeyDictionary()
 _next_token = itertools.count()
@@ -114,6 +124,31 @@ class CacheInfo:
         """Hits over lookups, 0.0 when nothing has been looked up yet."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
+
+    @property
+    def byte_utilization(self) -> float:
+        """Fraction of the byte budget currently occupied by stored columns."""
+        return self.current_bytes / self.max_bytes if self.max_bytes else 0.0
+
+    def to_jsonable(self) -> dict:
+        """Counters plus the computed rates, ready for JSON export.
+
+        This is what gateway collectors contribute to ``obs.snapshot()``
+        and what the CI smoke record stores per commit.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "inserts": self.inserts,
+            "inserted_bytes": self.inserted_bytes,
+            "evicted_bytes": self.evicted_bytes,
+            "hit_rate": self.hit_rate,
+            "byte_utilization": self.byte_utilization,
+        }
 
 
 class ColumnCache:
@@ -209,7 +244,8 @@ class ColumnCache:
         converges to, only how fast the batch fills.
         """
         alpha = self.alpha if alpha is None else float(alpha)
-        with self._lock:
+        with self._lock, obs.span("cache.get_many", kind=kind, n=len(nodes)) as ospan:
+            hits0, misses0 = self._hits, self._misses
             keys = [self._key(graph, kind, node, alpha) for node in nodes]
             # Results are pinned per call: an entry inserted early in this
             # call may be evicted by a later insert of the same call, but the
@@ -235,6 +271,9 @@ class ColumnCache:
                 cost = (time.perf_counter() - started) / len(missing)
                 for j, key in enumerate(missing):
                     resolved[key] = self._insert(key, solved[:, j], cost)
+            ospan.set_attributes(hits=self._hits - hits0, misses=self._misses - misses0)
+            _OBS_HITS.inc(self._hits - hits0, kind=kind)
+            _OBS_MISSES.inc(self._misses - misses0, kind=kind)
             return [resolved[key] for key in keys]
 
     def contains(
@@ -307,6 +346,7 @@ class ColumnCache:
             self._current_bytes -= evicted.nbytes
             self._evictions += 1
             self._evicted_bytes += evicted.nbytes
+            _OBS_EVICTIONS.inc()
         self._store[key] = column
         self.policy.record_insert(key, column.nbytes, cost)
         self._current_bytes += column.nbytes

@@ -67,6 +67,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.frank import DEFAULT_ALPHA, power_iteration
 from repro.core.queries import Query, normalize_query
 from repro.core.roundtrip_plus import DEFAULT_BETA, combine_beta
@@ -700,7 +701,7 @@ def _engine_solver(
     return solve
 
 
-def local_topk(
+def _local_topk_impl(
     graph: DiGraph,
     query: Query,
     k: int,
@@ -889,6 +890,77 @@ def local_topk(
         rounds=rounds,
         work=total_work(),
     )
+
+
+_OBS_LOCAL = obs.counter(
+    "repro_local_outcomes_total",
+    "Local top-k queries by outcome (certified / escalated).",
+    labels=("outcome",),
+)
+_OBS_WORK = obs.counter(
+    "repro_local_work_units_total", "Push work units spent by local top-k queries."
+)
+
+
+def local_topk(
+    graph: DiGraph,
+    query: Query,
+    k: int,
+    alpha: float = DEFAULT_ALPHA,
+    *,
+    measure: str = "roundtriprank",
+    beta: float = DEFAULT_BETA,
+    normalize: bool = True,
+    exclude: "set[int] | frozenset[int] | Sequence[int] | None" = None,
+    candidate_mask: "np.ndarray | None" = None,
+    target: float = DEFAULT_TARGET,
+    work_budget: "int | None" = None,
+    refine: bool = False,
+    max_rounds: int = 12,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    warn_on_nonconvergence: bool = True,
+    exact_method: str = "auto",
+    solve_columns: "Callable[[str, list[int]], np.ndarray] | None" = None,
+    column_probe: "Callable[[str, int], np.ndarray | None] | None" = None,
+) -> LocalTopKResult:
+    with obs.span("topk.local", k=int(k), measure=measure) as ospan:
+        result = _local_topk_impl(
+            graph,
+            query,
+            k,
+            alpha,
+            measure=measure,
+            beta=beta,
+            normalize=normalize,
+            exclude=exclude,
+            candidate_mask=candidate_mask,
+            target=target,
+            work_budget=work_budget,
+            refine=refine,
+            max_rounds=max_rounds,
+            tol=tol,
+            max_iter=max_iter,
+            warn_on_nonconvergence=warn_on_nonconvergence,
+            exact_method=exact_method,
+            solve_columns=solve_columns,
+            column_probe=column_probe,
+        )
+        if obs.enabled():
+            ospan.set_attributes(
+                certified=result.certified,
+                escalated=result.escalated,
+                rounds=int(result.rounds),
+                work=int(result.work),
+                bound=float(result.bound),
+            )
+            outcome = "certified" if result.certified else "escalated"
+            _OBS_LOCAL.inc(outcome=outcome)
+            _OBS_WORK.inc(int(result.work))
+    return result
+
+
+local_topk.__doc__ = _local_topk_impl.__doc__
 
 
 def _make_state(operator, node, alpha, kind, column_probe, inmass):

@@ -190,6 +190,28 @@ class TestStats:
         ]
         gateway.close()
 
+    def test_lane_keys_round_trip_documented_format(self, toy_graph):
+        """Flattened lane keys follow graph/measure/alpha and parse back."""
+        import json
+
+        from repro.gateway import lane_key_from_str, lane_key_to_str
+
+        gateway = RankGateway({"corpus/2024": toy_graph})
+        gateway.ask(0, alpha=0.25)
+        gateway.ask(0, measure="frank", alpha=0.5)
+        snapshot = gateway.snapshot()
+        payload = json.loads(json.dumps(snapshot.to_jsonable()))
+        assert sorted(payload["lanes"]) == [
+            "corpus/2024/frank/0.5",
+            "corpus/2024/roundtriprank/0.25",
+        ]
+        # Graph names containing "/" survive the rsplit-based parse.
+        for flat in payload["lanes"]:
+            lane = lane_key_from_str(flat)
+            assert lane in snapshot.lanes
+            assert lane_key_to_str(lane) == flat
+        gateway.close()
+
     def test_shed_rate(self, toy_graph):
         from repro.gateway import AdmissionConfig
 

@@ -1,0 +1,22 @@
+"""Fixtures for the observability tests.
+
+The global switch and the span ring are process state; every test that
+turns observability on goes through ``obs_enabled`` so the switch is
+always restored and the ring never leaks spans into a neighbour test.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def obs_enabled():
+    """Enable global observability for one test, restoring the off state."""
+    obs.clear_spans()
+    obs.enable()
+    try:
+        yield
+    finally:
+        obs.disable()
+        obs.clear_spans()

@@ -1,0 +1,64 @@
+"""``python -m repro.obs`` subcommands, driven through main() in-process."""
+
+import json
+
+from repro import obs
+from repro.obs.__main__ import main
+
+
+class TestSnapshotCommand:
+    def test_stdout(self, capsys):
+        assert main(["snapshot"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        assert main(["snapshot", "-o", str(out)]) == 0
+        assert "snapshot ->" in capsys.readouterr().out
+        assert json.loads(out.read_text())["schema"] == 1
+
+
+class TestPrometheusCommand:
+    def test_live_registry(self, capsys):
+        assert main(["prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_obs_enabled" in out
+
+    def test_offline_snapshot_file(self, tmp_path, capsys, obs_enabled):
+        obs.counter("repro_cli_test_total", "CLI test counter.").inc(3.0)
+        snap = tmp_path / "snap.json"
+        obs.write_snapshot(snap)
+        assert main(["prometheus", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_cli_test_total 3" in out
+        # Offline rendering comes from the file, not the live process.
+        assert "repro_obs_enabled" not in out
+
+    def test_missing_metrics_section(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["prometheus", str(bad)]) == 2
+        assert "no 'metrics' section" in capsys.readouterr().err
+
+
+class TestSummarizeCommand:
+    def test_renders_tree_from_jsonl(self, tmp_path, capsys, obs_enabled):
+        trace = tmp_path / "trace.jsonl"
+        obs.set_trace_file(str(trace))
+        try:
+            with obs.span("parent"):
+                with obs.span("child"):
+                    pass
+        finally:
+            obs.set_trace_file(None)
+        assert main(["summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "parent" in out and "child" in out
+        assert out.index("parent") < out.index("child")
+
+    def test_empty_file(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["summarize", str(trace)]) == 0
+        assert "no spans" in capsys.readouterr().out

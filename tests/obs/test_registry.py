@@ -1,0 +1,162 @@
+"""Registry semantics: exactness under threads, gating, label validation."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCounterExactness:
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits", "test", labels=("worker",))
+        n_threads, n_incs = 8, 5000
+
+        def work(worker_id: int) -> None:
+            for _ in range(n_incs):
+                counter.inc(worker=str(worker_id % 2))
+
+        threads = [
+            threading.Thread(target=work, args=(i,), daemon=True)
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total() == n_threads * n_incs
+        assert counter.value(worker="0") + counter.value(worker="1") == n_threads * n_incs
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c", "test")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_weighted_increment(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c", "test")
+        counter.inc(3.5)
+        counter.inc()
+        assert counter.total() == 4.5
+
+
+class TestHistogram:
+    def test_bucket_conservation_under_threads(self):
+        """Every observation lands in exactly one bucket: counts sum to count."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", "test", buckets=(1.0, 2.0, 4.0))
+        values = [0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 100.0]
+        n_threads, reps = 6, 400
+
+        def work() -> None:
+            for _ in range(reps):
+                for v in values:
+                    hist.observe(v)
+
+        threads = [threading.Thread(target=work, daemon=True) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts, total, count = hist.counts()
+        expected = n_threads * reps * len(values)
+        assert count == expected
+        assert sum(counts) == expected
+        assert total == pytest.approx(n_threads * reps * sum(values))
+        # le-inclusive edges: 1.0 falls in the first bucket, 2.0 in the second.
+        per = n_threads * reps
+        assert counts == [2 * per, 2 * per, 1 * per, 2 * per]
+
+    def test_bucket_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted and distinct"):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted and distinct"):
+            reg.histogram("bad2", buckets=(1.0, 1.0))
+
+    def test_bucket_mismatch_on_reregistration(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestLabelsAndIdentity:
+    def test_labels_must_match_declaration(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c", labels=("tenant",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(tenant="a", extra="b")
+        counter.inc(tenant="a")
+        assert counter.value(tenant="a") == 1
+
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", labels=("x",))
+        b = reg.counter("c", labels=("x",))
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("m", labels=("b",))
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value() == 3.0
+
+
+class TestGating:
+    def test_gated_registry_is_noop_when_disabled(self):
+        assert not obs.enabled()
+        counter = obs.counter("repro_test_gating_total", "test")
+        before = counter.total()
+        counter.inc()
+        assert counter.total() == before
+
+    def test_gated_registry_counts_when_enabled(self, obs_enabled):
+        counter = obs.counter("repro_test_gating_on_total", "test")
+        before = counter.total()
+        counter.inc(2.0)
+        assert counter.total() == before + 2.0
+
+    def test_ungated_registry_ignores_global_switch(self):
+        assert not obs.enabled()
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc()
+        assert counter.total() == 1
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter", labels=("k",)).inc(k="x")
+        reg.gauge("g", "a gauge").set(2.5)
+        reg.histogram("h", "a histogram", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert sorted(snap) == ["c", "g", "h"]
+        assert snap["c"]["type"] == "counter"
+        assert snap["c"]["samples"] == [{"labels": {"k": "x"}, "value": 1.0}]
+        assert snap["g"]["samples"] == [{"labels": {}, "value": 2.5}]
+        hrow = snap["h"]["samples"][0]
+        assert hrow["buckets"] == [1.0]
+        assert hrow["counts"] == [1, 0]
+        assert hrow["count"] == 1

@@ -47,6 +47,12 @@ def _payload() -> dict:
             "miss_p99_ms_batcher": 32.0,
             "miss_p99_ms_local": 21.0,
         },
+        "obs": {
+            "cache_hits": 424,
+            "n_local_certified": 23,
+            "disabled_overhead_pct": 0.4,
+            "enabled_overhead_pct": 20.0,
+        },
     }
 
 
